@@ -1,0 +1,137 @@
+package linefs
+
+import (
+	"strconv"
+	"testing"
+
+	"linefs/internal/bench"
+)
+
+// Each benchmark regenerates one of the paper's tables or figures at quick
+// scale and reports headline metrics via b.ReportMetric. Run the full set
+// with:
+//
+//	go test -bench=. -benchtime=1x
+//
+// or print the full tables with cmd/linefs-bench.
+
+// runExperiment executes the named experiment once per benchmark iteration.
+func runExperiment(b *testing.B, name string) *bench.Result {
+	b.Helper()
+	e, ok := bench.Find(name)
+	if !ok {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	opts := bench.DefaultOptions()
+	var res *bench.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = e.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+// cell parses a numeric table cell (strips %, GB/s already numeric).
+func cell(b *testing.B, res *bench.Result, row, col int) float64 {
+	b.Helper()
+	if row >= len(res.Rows) || col >= len(res.Rows[row]) {
+		b.Fatalf("no cell (%d,%d) in %s", row, col, res.Name)
+	}
+	s := res.Rows[row][col]
+	for len(s) > 0 && (s[len(s)-1] == '%' || s[len(s)-1] == 's') {
+		s = s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("cell %q not numeric: %v", res.Rows[row][col], err)
+	}
+	return v
+}
+
+func BenchmarkTable1(b *testing.B) {
+	res := runExperiment(b, "table1")
+	// Row 3: 8 procs on 25GbE.
+	b.ReportMetric(cell(b, res, 3, 4), "assise-cpu-%")
+	b.ReportMetric(cell(b, res, 3, 5), "ceph-cpu-%")
+}
+
+func BenchmarkTable2(b *testing.B) {
+	res := runExperiment(b, "table2")
+	b.ReportMetric(cell(b, res, 0, 1), "assise-seq-MB/s")
+	b.ReportMetric(cell(b, res, 0, 2), "linefs-seq-MB/s")
+}
+
+func BenchmarkTable3(b *testing.B) {
+	res := runExperiment(b, "table3")
+	b.ReportMetric(cell(b, res, 0, 4), "assise-busy-avg-us")
+	b.ReportMetric(cell(b, res, 2, 4), "linefs-busy-avg-us")
+	b.ReportMetric(cell(b, res, 0, 5), "assise-busy-p99-us")
+	b.ReportMetric(cell(b, res, 2, 5), "linefs-busy-p99-us")
+}
+
+func BenchmarkFig4(b *testing.B) {
+	res := runExperiment(b, "fig4")
+	// Idle rows: Assise first, LineFS last; column 2 is 1 client, 5 is 8.
+	b.ReportMetric(cell(b, res, 0, 2), "assise-idle-1c-GB/s")
+	b.ReportMetric(cell(b, res, 4, 2), "linefs-idle-1c-GB/s")
+	b.ReportMetric(cell(b, res, 4, 5), "linefs-idle-8c-GB/s")
+	b.ReportMetric(cell(b, res, 9, 5), "linefs-busy-8c-GB/s")
+}
+
+func BenchmarkFig5(b *testing.B) {
+	res := runExperiment(b, "fig5")
+	b.ReportMetric(cell(b, res, 0, 1), "fetch-us")
+	b.ReportMetric(cell(b, res, 1, 1), "validate-us")
+	b.ReportMetric(cell(b, res, 2, 1), "publish-us")
+	b.ReportMetric(cell(b, res, 3, 1), "transfer-us")
+}
+
+func BenchmarkFig6(b *testing.B) {
+	res := runExperiment(b, "fig6")
+	b.ReportMetric(cell(b, res, 0, 1), "sc-solo-s")
+	b.ReportMetric(cell(b, res, 1, 1), "sc-assise-primary-s")
+	b.ReportMetric(cell(b, res, 3, 1), "sc-linefs-primary-s")
+	b.ReportMetric(cell(b, res, 3, 3), "linefs-MB/s")
+}
+
+func BenchmarkFig7(b *testing.B) {
+	res := runExperiment(b, "fig7")
+	b.ReportMetric(cell(b, res, 0, 1), "sc-memcpy-s")
+	b.ReportMetric(cell(b, res, 3, 1), "sc-dma-intr-batch-s")
+	b.ReportMetric(cell(b, res, 4, 1), "sc-nocopy-s")
+	b.ReportMetric(cell(b, res, 3, 2), "linefs-dma-intr-MB/s")
+}
+
+func BenchmarkFig8a(b *testing.B) {
+	res := runExperiment(b, "fig8a")
+	b.ReportMetric(cell(b, res, 0, 1), "assise-fillseq-us")
+	b.ReportMetric(cell(b, res, 0, 2), "linefs-fillseq-us")
+	b.ReportMetric(cell(b, res, 4, 1), "assise-readrandom-us")
+	b.ReportMetric(cell(b, res, 4, 2), "linefs-readrandom-us")
+}
+
+func BenchmarkFig8b(b *testing.B) {
+	res := runExperiment(b, "fig8b")
+	b.ReportMetric(cell(b, res, 0, 1), "assise-fileserver-kops")
+	b.ReportMetric(cell(b, res, 0, 2), "linefs-fileserver-kops")
+	b.ReportMetric(cell(b, res, 1, 1), "assise-varmail-kops")
+	b.ReportMetric(cell(b, res, 1, 2), "linefs-varmail-kops")
+}
+
+func BenchmarkFig9(b *testing.B) {
+	res := runExperiment(b, "fig9")
+	b.ReportMetric(cell(b, res, 0, 2), "assise-net-MB")
+	b.ReportMetric(cell(b, res, 3, 2), "linefs80-net-MB")
+	b.ReportMetric(cell(b, res, 0, 1), "assise-runtime-s")
+	b.ReportMetric(cell(b, res, 3, 1), "linefs80-runtime-s")
+}
+
+func BenchmarkFig10(b *testing.B) {
+	res := runExperiment(b, "fig10")
+	b.ReportMetric(cell(b, res, 0, 1), "ops-before-failure")
+	b.ReportMetric(cell(b, res, 1, 1), "ops-during-failure")
+	b.ReportMetric(cell(b, res, 2, 1), "ops-after-recovery")
+}

@@ -1,0 +1,67 @@
+// Command linefs-bench regenerates the paper's evaluation tables and
+// figures on the simulated testbed.
+//
+// Usage:
+//
+//	linefs-bench -exp fig4            # one experiment
+//	linefs-bench -exp all             # the full suite, paper order
+//	linefs-bench -exp table3 -full    # paper-scale sizes (slow)
+//	linefs-bench -list                # enumerate experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"linefs/internal/bench"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment name (table1..table3, fig4..fig10) or 'all'")
+		full = flag.Bool("full", false, "run at paper-scale sizes instead of quick scale")
+		seed = flag.Int64("seed", 42, "simulation seed")
+		list = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range append(bench.All(), bench.Ablations()...) {
+			fmt.Printf("  %-12s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+
+	opts := bench.Options{Quick: !*full, Seed: *seed}
+
+	var toRun []bench.Experiment
+	switch *exp {
+	case "all":
+		toRun = bench.All()
+	case "ablations":
+		toRun = bench.Ablations()
+	default:
+		for _, name := range strings.Split(*exp, ",") {
+			e, ok := bench.Find(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			toRun = append(toRun, e)
+		}
+	}
+
+	for _, e := range toRun {
+		start := time.Now()
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		res.Notes = append(res.Notes, fmt.Sprintf("wall-clock %s", time.Since(start).Round(time.Millisecond)))
+		res.Print(os.Stdout)
+	}
+}

@@ -1,0 +1,69 @@
+// KV store: run the LevelDB-like LSM store on a LineFS cluster — the
+// workload behind the paper's Figure 8a. Inserts go through a write-ahead
+// log on the DFS; memtable flushes produce SSTables that NICFS publishes
+// and replicates in the background.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"linefs"
+	"linefs/internal/kvstore"
+)
+
+func main() {
+	opts := linefs.Defaults()
+	cl, err := linefs.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const n = 3000
+	ok := cl.Run(func(p *linefs.Proc) {
+		c, err := cl.Attach(p, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt := kvstore.DefaultOptions()
+		opt.MemtableBytes = 512 << 10 // flush often enough to exercise the DFS
+		db, err := kvstore.Open(p, c, "/db", opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		cfg := kvstore.DefaultBenchConfig(n)
+		fill, err := kvstore.FillSeq(p, db, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fillseq    : %6d ops, avg %7v  p99 %7v\n", fill.N(), fill.Mean(), fill.Percentile(99))
+
+		read, err := kvstore.ReadRandom(p, db, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("readrandom : %6d ops, avg %7v  p99 %7v\n", read.N(), read.Mean(), read.Percentile(99))
+
+		hot, err := kvstore.ReadHot(p, db, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("readhot    : %6d ops, avg %7v  p99 %7v\n", hot.N(), hot.Mean(), hot.Percentile(99))
+
+		syncCfg := cfg
+		syncCfg.N = n / 10
+		db2, _ := kvstore.Open(p, c, "/db-sync", opt)
+		sync, err := kvstore.FillSync(p, db2, syncCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fillsync   : %6d ops, avg %7v  p99 %7v  (replicated WAL fsync per op)\n",
+			sync.N(), sync.Mean(), sync.Percentile(99))
+
+		fmt.Printf("\nSSTables on the DFS: %d\n", db.Tables())
+	})
+	if !ok {
+		log.Fatal("workload did not complete")
+	}
+}

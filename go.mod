@@ -1,0 +1,3 @@
+module linefs
+
+go 1.22

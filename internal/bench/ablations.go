@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"linefs/internal/core"
+	"linefs/internal/sim"
+	"linefs/internal/workload"
+)
+
+// Ablations are experiments beyond the paper's figures that isolate the
+// design choices DESIGN.md calls out: the 4 MB chunk size, the coalescing
+// stage, the last-hop direct write, and the dynamic pipeline scaling.
+func Ablations() []Experiment {
+	return []Experiment{
+		{"abl-chunk", "Ablation: pipeline chunk size vs write throughput", AblChunkSize},
+		{"abl-coalesce", "Ablation: coalescing stage vs published bytes", AblCoalesce},
+		{"abl-direct", "Ablation: last-hop direct write vs fsync latency", AblDirectWrite},
+		{"abl-scaling", "Ablation: dynamic stage scaling under compression", AblScaling},
+	}
+}
+
+// AblChunkSize sweeps the pipeline unit: tiny chunks pay per-chunk
+// overheads (RPCs, PCIe latency), huge chunks lose pipelining within the
+// log window — the paper's 4 MB sits on the plateau.
+func AblChunkSize(o Options) (*Result, error) {
+	res := &Result{
+		Name:   "abl-chunk",
+		Title:  "write throughput vs chunk size (2 clients, idle)",
+		Header: []string{"chunk", "GB/s"},
+	}
+	for _, cs := range []int{256 << 10, 1 << 20, 4 << 20, 8 << 20} {
+		cfg := lineFSConfig(o, 2)
+		cfg.ChunkSize = cs
+		env, cl, err := newLineFS(o, cfg)
+		if err != nil {
+			return nil, err
+		}
+		tput, err := measureWriters(env, 2, fig4PerProc(o), func(p *sim.Proc, i int) writerClient {
+			a, err := cl.Attach(p, 0)
+			if err != nil {
+				return writerClient{}
+			}
+			return writerClient{c: a.Client}
+		})
+		env.Shutdown()
+		if err != nil {
+			return nil, fmt.Errorf("abl-chunk %d: %w", cs, err)
+		}
+		res.Rows = append(res.Rows, []string{fmt.Sprintf("%dKB", cs>>10), gbps(tput)})
+	}
+	res.Notes = append(res.Notes, "expect a plateau around the paper's 4 MB choice")
+	return res, nil
+}
+
+// AblCoalesce measures write amplification on a temporarily-durable-file
+// workload (create, write, delete — §3.3.1's target pattern) with the
+// coalescing stage on and off.
+func AblCoalesce(o Options) (*Result, error) {
+	run := func(disable bool) (pub, coalesced int64, err error) {
+		cfg := lineFSConfig(o, 1)
+		cfg.DisableCoalesce = disable
+		env, cl, err := newLineFS(o, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		defer env.Shutdown()
+		done := 0
+		env.Go("bench", func(p *sim.Proc) {
+			a, _ := cl.Attach(p, 0)
+			payload := bytes.Repeat([]byte{0xCC}, 64<<10)
+			for i := 0; i < 200; i++ {
+				name := fmt.Sprintf("/tmp%03d", i)
+				fd, _ := a.Create(p, name)
+				a.WriteAt(p, fd, 0, payload)
+				a.Close(p, fd)
+				// Half the files are temporary: deleted before publication.
+				if i%2 == 0 {
+					a.Unlink(p, name)
+				}
+			}
+			a.Mkdir(p, "/keepalive")
+			kfd, _ := a.Create(p, "/keepalive/f")
+			a.Fsync(p, kfd)
+			p.Sleep(2 * time.Second)
+			done++
+		})
+		if !waitAll(env, &done, 1, 600*time.Second) {
+			return 0, 0, fmt.Errorf("abl-coalesce stalled")
+		}
+		return cl.NICs[0].PubBytes, cl.NICs[0].CoalescedBytes, nil
+	}
+	on, dropped, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	off, _, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Name:   "abl-coalesce",
+		Title:  "published bytes with and without coalescing (200 files, half temporary)",
+		Header: []string{"config", "published MB", "coalesced-away MB"},
+		Rows: [][]string{
+			{"coalescing on", fmt.Sprintf("%.1f", float64(on)/1e6), fmt.Sprintf("%.1f", float64(dropped)/1e6)},
+			{"coalescing off", fmt.Sprintf("%.1f", float64(off)/1e6), "0.0"},
+		},
+	}
+	if off > 0 {
+		res.Notes = append(res.Notes, fmt.Sprintf("coalescing avoided %.0f%% of publication write amplification",
+			100*(1-float64(on)/float64(off))))
+	}
+	return res, nil
+}
+
+// AblDirectWrite compares fsync latency with and without the §3.3.2
+// last-hop one-sided write.
+func AblDirectWrite(o Options) (*Result, error) {
+	run := func(disable bool) (time.Duration, error) {
+		cfg := lineFSConfig(o, 1)
+		cfg.DisableDirectWrite = disable
+		env, cl, err := newLineFS(o, cfg)
+		if err != nil {
+			return 0, err
+		}
+		defer env.Shutdown()
+		var mean time.Duration
+		done := 0
+		env.Go("bench", func(p *sim.Proc) {
+			a, _ := cl.Attach(p, 0)
+			lat, err := workload.LatencyBench(p, a.Client, "/lat", 1500, 16<<10, o.Seed)
+			if err == nil {
+				mean = lat.Mean()
+			}
+			done++
+		})
+		if !waitAll(env, &done, 1, 600*time.Second) {
+			return 0, fmt.Errorf("abl-direct stalled")
+		}
+		return mean, nil
+	}
+	withDirect, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	without, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Name:   "abl-direct",
+		Title:  "write+fsync mean latency: last-hop direct write on/off",
+		Header: []string{"config", "mean (us)"},
+		Rows: [][]string{
+			{"direct write (paper)", us(withDirect)},
+			{"via NICFS memory", us(without)},
+		},
+		Notes: []string{"the direct write removes one SmartNIC memory copy from the last hop"},
+	}, nil
+}
+
+// AblScaling compares the dynamic stage-scaling monitor against a single
+// worker per stage under a compression-heavy load, where a lone wimpy core
+// (~200 MB/s) would bottleneck the replication pipeline.
+func AblScaling(o Options) (*Result, error) {
+	run := func(budget int) (float64, int, error) {
+		cfg := lineFSConfig(o, 1)
+		cfg.Compress = true
+		env := sim.NewEnv(o.Seed)
+		cl, err := core.NewCluster(env, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		cl.Start()
+		defer env.Shutdown()
+		// Compressible payload keeps the compression stage busy.
+		done := 0
+		var tput float64
+		var scaled int
+		env.Go("bench", func(p *sim.Proc) {
+			a, _ := cl.Attach(p, 0)
+			fd, _ := a.Create(p, "/c")
+			buf := bytes.Repeat([]byte("abcd0000"), 8<<10) // 64 KB, compressible
+			total := 48 << 20
+			start := p.Now()
+			for off := 0; off < total; off += len(buf) {
+				a.WriteAt(p, fd, uint64(off), buf)
+			}
+			a.Fsync(p, fd)
+			el := time.Duration(p.Now() - start)
+			if el > 0 {
+				tput = float64(total) / el.Seconds()
+			}
+			done++
+		})
+		_ = budget
+		if !waitAll(env, &done, 1, 1200*time.Second) {
+			return 0, 0, fmt.Errorf("abl-scaling stalled")
+		}
+		return tput, scaled, nil
+	}
+	// The pipeline's monitor scales the compression stage automatically;
+	// compare against a chunk pipeline with compression forced serial via
+	// the NotParallel path.
+	scaled, _, err := run(0)
+	if err != nil {
+		return nil, err
+	}
+	cfgNP := lineFSConfig(o, 1)
+	cfgNP.Compress = true
+	cfgNP.Parallel = false
+	env, cl, err := newLineFS(o, cfgNP)
+	if err != nil {
+		return nil, err
+	}
+	var npTput float64
+	done := 0
+	env.Go("bench", func(p *sim.Proc) {
+		a, _ := cl.Attach(p, 0)
+		fd, _ := a.Create(p, "/c")
+		buf := bytes.Repeat([]byte("abcd0000"), 8<<10)
+		total := 48 << 20
+		start := p.Now()
+		for off := 0; off < total; off += len(buf) {
+			a.WriteAt(p, fd, uint64(off), buf)
+		}
+		a.Fsync(p, fd)
+		el := time.Duration(p.Now() - start)
+		if el > 0 {
+			npTput = float64(total) / el.Seconds()
+		}
+		done++
+	})
+	ok := waitAll(env, &done, 1, 1200*time.Second)
+	env.Shutdown()
+	if !ok {
+		return nil, fmt.Errorf("abl-scaling NP stalled")
+	}
+	return &Result{
+		Name:   "abl-scaling",
+		Title:  "compression-stage throughput: scaled pipeline vs single thread",
+		Header: []string{"config", "MB/s"},
+		Rows: [][]string{
+			{"pipeline (dynamic scaling)", mbps(scaled)},
+			{"sequential (one wimpy core)", mbps(npTput)},
+		},
+		Notes: []string{"one 800 MHz core compresses at ~200 MB/s; the monitor assigns more workers when the stage queue grows"},
+	}, nil
+}

@@ -1,0 +1,235 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§5): each experiment builds the systems under test on the
+// simulated testbed, drives the paper's workload, and reports the same rows
+// or series the paper does. Absolute numbers come from the calibrated cost
+// model; the shapes — who wins, by what factor, where crossovers fall — are
+// the reproduction targets recorded in EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"linefs/internal/assise"
+	"linefs/internal/core"
+	"linefs/internal/hw"
+	"linefs/internal/node"
+	"linefs/internal/sim"
+)
+
+// Options control experiment scale.
+type Options struct {
+	// Quick shrinks file sizes and op counts so the full suite runs in
+	// minutes; the paper-scale values are used otherwise.
+	Quick bool
+	Seed  int64
+}
+
+// DefaultOptions runs quick-scale experiments.
+func DefaultOptions() Options { return Options{Quick: true, Seed: 42} }
+
+// Result is one experiment's output.
+type Result struct {
+	Name   string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+	// Series holds named numeric series for figure-style results.
+	Series map[string][]float64
+}
+
+// Print renders the result as an aligned text table.
+func (r *Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.Name, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for name, s := range r.Series {
+		fmt.Fprintf(w, "  series %s:", name)
+		for _, v := range s {
+			fmt.Fprintf(w, " %.2f", v)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment is a named, runnable experiment.
+type Experiment struct {
+	Name string
+	Desc string
+	Run  func(Options) (*Result, error)
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Client CPU utilization: Assise vs Ceph (§2.1)", Table1},
+		{"table2", "Read throughput: Assise vs LineFS (§5.2.2)", Table2},
+		{"table3", "Write+fsync latency, idle and busy replicas (§5.2.5)", Table3},
+		{"fig4", "Write throughput scalability, idle and busy (§5.2.1)", Fig4},
+		{"fig5", "Publish/replication pipeline latency breakdown (§5.2.3)", Fig5},
+		{"fig6", "Streamcluster co-execution interference (§5.2.4)", Fig6},
+		{"fig7", "Kernel-worker publication methods (§5.2.4)", Fig7},
+		{"fig8a", "LevelDB db_bench latency (§5.3)", Fig8a},
+		{"fig8b", "Filebench fileserver/varmail throughput (§5.3)", Fig8b},
+		{"fig9", "Tencent Sort with replication compression (§5.4)", Fig9},
+		{"fig10", "Varmail availability across host failure (§5.5)", Fig10},
+	}
+}
+
+// Find returns the experiment by name.
+func Find(name string) (Experiment, bool) {
+	for _, e := range append(All(), Ablations()...) {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ---- Shared setup ----------------------------------------------------
+
+// hostJitter is the dispatch-delay model applied to host CPUs: it only
+// fires when every core is busy (saturation), reproducing the context
+// switch and dispatch overheads that inflate host-based DFS latencies
+// under co-running load (§3.3.2).
+func hostJitter(seed int64) *hw.JitterModel {
+	return hw.NewJitterModel(seed, 45*time.Microsecond, 0.004, 2500*time.Microsecond)
+}
+
+// lineFSConfig builds the LineFS configuration for a scale.
+func lineFSConfig(o Options, clients int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.MaxClients = clients
+	if o.Quick {
+		cfg.Spec.PMSize = 1600 << 20
+		cfg.VolSize = 1280 << 20
+		cfg.LogSize = 24 << 20
+		cfg.InodesPerVol = 32768
+	} else {
+		cfg.Spec.PMSize = 16 << 30
+		cfg.VolSize = 12 << 30
+		cfg.LogSize = 512 << 20
+		cfg.InodesPerVol = 131072
+	}
+	return cfg
+}
+
+func assiseConfig(o Options, clients int, mode assise.Mode) assise.Config {
+	cfg := assise.DefaultConfig()
+	cfg.Mode = mode
+	cfg.MaxClients = clients
+	if o.Quick {
+		cfg.Spec.PMSize = 1600 << 20
+		cfg.VolSize = 1280 << 20
+		cfg.LogSize = 24 << 20
+		cfg.InodesPerVol = 32768
+	} else {
+		cfg.Spec.PMSize = 16 << 30
+		cfg.VolSize = 12 << 30
+		cfg.LogSize = 512 << 20
+		cfg.InodesPerVol = 131072
+	}
+	return cfg
+}
+
+// newLineFS builds and starts a LineFS cluster with jitter-modeled hosts.
+func newLineFS(o Options, cfg core.Config) (*sim.Env, *core.Cluster, error) {
+	env := sim.NewEnv(o.Seed)
+	cl, err := core.NewCluster(env, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, m := range cl.Machines {
+		m.HostCPU.Jitter = hostJitter(o.Seed + int64(i))
+	}
+	cl.Start()
+	return env, cl, nil
+}
+
+// newAssise builds and starts an Assise cluster with jitter-modeled hosts.
+func newAssise(o Options, cfg assise.Config) (*sim.Env, *assise.Cluster, error) {
+	env := sim.NewEnv(o.Seed)
+	cl, err := assise.NewCluster(env, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, m := range cl.Machines {
+		m.HostCPU.Jitter = hostJitter(o.Seed + int64(i))
+	}
+	cl.Start()
+	return env, cl, nil
+}
+
+// hog saturates a machine's host cores with an endless CPU-bound co-tenant
+// (streamcluster stand-in for "busy" configurations).
+func hog(env *sim.Env, m *node.Machine) {
+	for t := 0; t < m.HostCPU.NumCores(); t++ {
+		env.Go(m.Name+"/hog", func(p *sim.Proc) {
+			for {
+				m.HostCPU.Compute(p, time.Millisecond, 0, "app")
+			}
+		})
+	}
+}
+
+// busyReplicas saturates every machine except the primary.
+func busyReplicas(env *sim.Env, machines []*node.Machine) {
+	for i, m := range machines {
+		if i == 0 {
+			continue
+		}
+		hog(env, m)
+	}
+}
+
+// gb formats bytes/sec as GB/s.
+func gbps(v float64) string { return fmt.Sprintf("%.2f", v/1e9) }
+
+// mbps formats bytes/sec as MB/s.
+func mbps(v float64) string { return fmt.Sprintf("%.0f", v/1e6) }
+
+// us formats a duration in microseconds.
+func us(d time.Duration) string { return fmt.Sprintf("%.0f", float64(d)/1e3) }
+
+// waitAll blocks the simulation until every done flag in the slice is set
+// or the deadline passes; it reports completion.
+func waitAll(env *sim.Env, done *int, want int, deadline time.Duration) bool {
+	for time.Duration(env.Now()) < deadline {
+		if *done >= want {
+			return true
+		}
+		env.RunFor(50 * time.Millisecond)
+	}
+	return *done >= want
+}

@@ -1,0 +1,286 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"linefs/internal/assise"
+	"linefs/internal/cephsim"
+	"linefs/internal/sim"
+	"linefs/internal/stats"
+	"linefs/internal/workload"
+)
+
+// Table1 reproduces §2.1 Table 1: client CPU utilization and throughput of
+// Assise versus Ceph for 1/2/4/8 benchmark processes on 25 GbE and 100 GbE,
+// each process writing a file with 4 KB IOs.
+func Table1(o Options) (*Result, error) {
+	perProc := 24 << 20 // paper: 24 GB
+	if !o.Quick {
+		perProc = 256 << 20
+	}
+	nets := []struct {
+		name string
+		bw   float64
+	}{
+		{"25GbE", 2.2e9},
+		{"100GbE", 8.8e9},
+	}
+	procsList := []int{1, 2, 4, 8}
+
+	res := &Result{
+		Name:   "table1",
+		Title:  "client CPU utilization and write throughput (100% = 1 core)",
+		Header: []string{"procs", "net", "Assise GB/s", "Ceph GB/s", "Assise CPU%", "Ceph CPU%"},
+	}
+
+	for _, net := range nets {
+		for _, procs := range procsList {
+			// --- Assise ---
+			acfg := assiseConfig(o, procs, assise.BgRepl)
+			acfg.Spec.NetBW = net.bw
+			env, acl, err := newAssise(o, acfg)
+			if err != nil {
+				return nil, err
+			}
+			done := 0
+			_ = done
+			var start, end sim.Time
+			for i := 0; i < procs; i++ {
+				idx := i
+				env.Go("bench", func(p *sim.Proc) {
+					a, err := acl.Attach(p, 0)
+					if err != nil {
+						return
+					}
+					workload.WriteBench(p, a.Client, fmt.Sprintf("/w%d", idx), perProc, 4096, o.Seed+int64(idx))
+					if p.Now() > end {
+						end = p.Now()
+					}
+					done++
+				})
+			}
+			ok := waitAll(env, &done, procs, 300*time.Second)
+			elapsed := time.Duration(end - start)
+			aTputDone := ok
+			aTput := float64(procs*perProc) / elapsed.Seconds()
+			aCPU := acl.Machines[0].HostCPU.Util.Percent("dfs", elapsed)
+			env.Shutdown()
+			if !aTputDone {
+				return nil, fmt.Errorf("table1: assise run stalled")
+			}
+
+			// --- Ceph ---
+			ccfg := cephsim.DefaultConfig()
+			ccfg.Spec.NetBW = net.bw
+			cenv := sim.NewEnv(o.Seed)
+			ccl := cephsim.NewCluster(cenv, ccfg)
+			ccl.Start()
+			cdone := 0
+			var cend sim.Time
+			for i := 0; i < procs; i++ {
+				cenv.Go("bench", func(p *sim.Proc) {
+					c := ccl.Attach(p)
+					for off := 0; off < perProc; off += 4096 {
+						c.Write(p, 4096)
+					}
+					c.Sync(p)
+					if p.Now() > cend {
+						cend = p.Now()
+					}
+					cdone++
+				})
+			}
+			cok := waitAll(cenv, &cdone, procs, 300*time.Second)
+			cElapsed := time.Duration(cend)
+			cTput := float64(procs*perProc) / cElapsed.Seconds()
+			cCPU := ccl.ClientM.HostCPU.Util.Percent("ceph", cElapsed)
+			cenv.Shutdown()
+			if !cok {
+				return nil, fmt.Errorf("table1: ceph run stalled")
+			}
+
+			res.Rows = append(res.Rows, []string{
+				fmt.Sprintf("%d", procs), net.name,
+				gbps(aTput), gbps(cTput),
+				fmt.Sprintf("%.0f%%", aCPU), fmt.Sprintf("%.0f%%", cCPU),
+			})
+		}
+	}
+	res.Notes = append(res.Notes,
+		"paper: Assise client CPU grows with bandwidth (up to 509% at 100GbE/8 procs); Ceph stays ~2 cores")
+	return res, nil
+}
+
+// Table2 reproduces §5.2.2 Table 2: local sequential and random read
+// throughput of Assise and LineFS (reads never involve the SmartNIC).
+func Table2(o Options) (*Result, error) {
+	total := 96 << 20
+	if !o.Quick {
+		total = 2 << 30
+	}
+	io := 16 << 10
+
+	type out struct{ seq, rnd float64 }
+	measureLineFS := func() (out, error) {
+		cfg := lineFSConfig(o, 1)
+		env, cl, err := newLineFS(o, cfg)
+		if err != nil {
+			return out{}, err
+		}
+		var r out
+		done := 0
+		env.Go("bench", func(p *sim.Proc) {
+			a, _ := cl.Attach(p, 0)
+			workload.WriteBench(p, a.Client, "/r", total, io, o.Seed)
+			p.Sleep(2 * time.Second) // publication drains
+			r.seq, _ = workload.ReadBench(p, a.Client, "/r", total, io, false, o.Seed)
+			r.rnd, _ = workload.ReadBench(p, a.Client, "/r", total, io, true, o.Seed)
+			done++
+		})
+		ok := waitAll(env, &done, 1, 600*time.Second)
+		env.Shutdown()
+		if !ok {
+			return out{}, fmt.Errorf("table2: linefs run stalled")
+		}
+		return r, nil
+	}
+	measureAssise := func() (out, error) {
+		cfg := assiseConfig(o, 1, assise.BgRepl)
+		env, cl, err := newAssise(o, cfg)
+		if err != nil {
+			return out{}, err
+		}
+		var r out
+		done := 0
+		env.Go("bench", func(p *sim.Proc) {
+			a, _ := cl.Attach(p, 0)
+			workload.WriteBench(p, a.Client, "/r", total, io, o.Seed)
+			p.Sleep(2 * time.Second)
+			r.seq, _ = workload.ReadBench(p, a.Client, "/r", total, io, false, o.Seed)
+			r.rnd, _ = workload.ReadBench(p, a.Client, "/r", total, io, true, o.Seed)
+			done++
+		})
+		ok := waitAll(env, &done, 1, 600*time.Second)
+		env.Shutdown()
+		if !ok {
+			return out{}, fmt.Errorf("table2: assise run stalled")
+		}
+		return r, nil
+	}
+
+	lf, err := measureLineFS()
+	if err != nil {
+		return nil, err
+	}
+	as, err := measureAssise()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Name:   "table2",
+		Title:  "read throughput (MB/s)",
+		Header: []string{"pattern", "Assise", "LineFS"},
+		Rows: [][]string{
+			{"sequential", mbps(as.seq), mbps(lf.seq)},
+			{"random", mbps(as.rnd), mbps(lf.rnd)},
+		},
+		Notes: []string{"paper: 3147/3134 sequential, 2960/2946 random — near-identical, reads bypass the NIC"},
+	}
+	return res, nil
+}
+
+// Table3 reproduces §5.2.5 Table 3: 16 KB write+fsync latency with idle and
+// busy replicas for Assise, Assise+Hyperloop and LineFS.
+func Table3(o Options) (*Result, error) {
+	nOps := 4000
+	if !o.Quick {
+		nOps = 20000
+	}
+
+	runLineFS := func(busy bool) (*stats.Latency, error) {
+		cfg := lineFSConfig(o, 1)
+		if busy {
+			cfg.DFSPrio = 1
+		}
+		env, cl, err := newLineFS(o, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if busy {
+			busyReplicas(env, cl.Machines)
+		}
+		var lat *stats.Latency
+		done := 0
+		env.Go("bench", func(p *sim.Proc) {
+			a, _ := cl.Attach(p, 0)
+			lat, _ = workload.LatencyBench(p, a.Client, "/lat", nOps, 16<<10, o.Seed)
+			done++
+		})
+		ok := waitAll(env, &done, 1, 1200*time.Second)
+		env.Shutdown()
+		if !ok {
+			return nil, fmt.Errorf("table3: linefs stalled (busy=%v)", busy)
+		}
+		return lat, nil
+	}
+	runAssise := func(mode assise.Mode, busy bool) (*stats.Latency, error) {
+		cfg := assiseConfig(o, 1, mode)
+		if busy {
+			cfg.DFSPrio = 1
+		}
+		env, cl, err := newAssise(o, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if busy {
+			busyReplicas(env, cl.Machines)
+		}
+		var lat *stats.Latency
+		done := 0
+		env.Go("bench", func(p *sim.Proc) {
+			a, _ := cl.Attach(p, 0)
+			lat, _ = workload.LatencyBench(p, a.Client, "/lat", nOps, 16<<10, o.Seed)
+			done++
+		})
+		ok := waitAll(env, &done, 1, 1200*time.Second)
+		env.Shutdown()
+		if !ok {
+			return nil, fmt.Errorf("table3: %v stalled (busy=%v)", mode, busy)
+		}
+		return lat, nil
+	}
+
+	res := &Result{
+		Name:   "table3",
+		Title:  "write+fsync latency (us)",
+		Header: []string{"system", "idle avg", "idle p99", "idle p99.9", "busy avg", "busy p99", "busy p99.9"},
+	}
+	type sys struct {
+		name string
+		run  func(busy bool) (*stats.Latency, error)
+	}
+	systems := []sys{
+		{"Assise", func(b bool) (*stats.Latency, error) { return runAssise(assise.Pessimistic, b) }},
+		{"Assise+Hyperloop", func(b bool) (*stats.Latency, error) { return runAssise(assise.Hyperloop, b) }},
+		{"LineFS", runLineFS},
+	}
+	for _, s := range systems {
+		idle, err := s.run(false)
+		if err != nil {
+			return nil, err
+		}
+		busy, err := s.run(true)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, []string{
+			s.name,
+			us(idle.Mean()), us(idle.Percentile(99)), us(idle.Percentile(99.9)),
+			us(busy.Mean()), us(busy.Percentile(99)), us(busy.Percentile(99.9)),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"paper: Assise 76/101/126 idle but 323/7115/8331 busy; Hyperloop stable avg with ms-scale p99.9 both ways; LineFS ~149us flat")
+	return res, nil
+}

@@ -1,0 +1,91 @@
+package cephsim
+
+import (
+	"testing"
+	"time"
+
+	"linefs/internal/sim"
+)
+
+func TestClientServerWrites(t *testing.T) {
+	env := sim.NewEnv(1)
+	cl := NewCluster(env, DefaultConfig())
+	cl.Start()
+	var written int64
+	env.Go("bench", func(p *sim.Proc) {
+		c := cl.Attach(p)
+		for i := 0; i < 2048; i++ { // 8 MB in 4 KB IOs
+			c.Write(p, 4096)
+		}
+		c.Sync(p)
+		written = c.BytesWritten
+	})
+	env.RunUntil(30 * time.Second)
+	if written != 8<<20 {
+		t.Fatalf("written = %d, want 8 MiB", written)
+	}
+	if cl.ClientM.HostCPU.Util.Busy("ceph") == 0 {
+		t.Fatal("no client CPU charged")
+	}
+	if cl.Servers[0].HostCPU.Util.Busy("osd") == 0 {
+		t.Fatal("no server CPU charged")
+	}
+}
+
+func TestMultipleClientsShareServers(t *testing.T) {
+	env := sim.NewEnv(1)
+	cl := NewCluster(env, DefaultConfig())
+	cl.Start()
+	finished := 0
+	for i := 0; i < 4; i++ {
+		env.Go("bench", func(p *sim.Proc) {
+			c := cl.Attach(p)
+			for j := 0; j < 1024; j++ {
+				c.Write(p, 4096)
+			}
+			c.Sync(p)
+			finished++
+		})
+	}
+	env.RunUntil(60 * time.Second)
+	if finished != 4 {
+		t.Fatalf("finished = %d", finished)
+	}
+}
+
+func TestThroughputSaturates(t *testing.T) {
+	// Doubling offered load once the servers saturate must not double
+	// throughput per unit time: measure time to push fixed totals.
+	measure := func(procs int) time.Duration {
+		env := sim.NewEnv(1)
+		cl := NewCluster(env, DefaultConfig())
+		cl.Start()
+		done := 0
+		per := (64 << 20) / procs
+		for i := 0; i < procs; i++ {
+			env.Go("bench", func(p *sim.Proc) {
+				c := cl.Attach(p)
+				for off := 0; off < per; off += 4096 {
+					c.Write(p, 4096)
+				}
+				c.Sync(p)
+				done++
+			})
+		}
+		env.RunUntil(300 * time.Second)
+		if done != procs {
+			t.Fatalf("only %d/%d clients finished", done, procs)
+		}
+		return time.Duration(env.Now())
+	}
+	t1 := measure(1)
+	t8 := measure(8)
+	// Same total bytes; 8 clients should not be slower than 1, and should
+	// not be 8x faster (server-bound).
+	if t8 > t1*11/10 {
+		t.Fatalf("8 clients slower than 1: %v vs %v", t8, t1)
+	}
+	if t8 < t1/8 {
+		t.Fatalf("unrealistic linear scaling: %v vs %v", t8, t1)
+	}
+}

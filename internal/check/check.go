@@ -1,0 +1,413 @@
+// Package check is the correctness suite the paper validates LineFS with
+// (§5.1 runs xfstests and CrashMonkey): generic POSIX-semantics cases over
+// the client API, plus crash-consistency cases that cut power at chosen
+// points and verify the recovered state is a clean prefix. Every case runs
+// against any of the systems under test.
+package check
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"linefs/internal/dfs"
+	"linefs/internal/fs"
+	"linefs/internal/sim"
+)
+
+// Target abstracts the system under test.
+type Target struct {
+	Env *sim.Env
+	// Attach creates a fresh client on the primary.
+	Attach func(p *sim.Proc) (*dfs.Client, error)
+	// CrashPrimaryPM injects a power failure on the primary's PM; nil
+	// disables crash cases.
+	CrashPrimaryPM func()
+	// ReopenLog reopens the first client's log area post-crash, returning
+	// it with a cost-free context for inspection.
+	ReopenLog func() (*fs.LogArea, *fs.Ctx, error)
+}
+
+// Case is one named check.
+type Case struct {
+	Name string
+	Run  func(p *sim.Proc, tgt *Target) error
+}
+
+// Generic returns the xfstests-style cases.
+func Generic() []Case {
+	return []Case{
+		{"create-read-write", caseCreateReadWrite},
+		{"enoent-eexist", caseErrors},
+		{"rename-semantics", caseRename},
+		{"unlink-removes", caseUnlink},
+		{"truncate", caseTruncate},
+		{"sparse-files", caseSparse},
+		{"deep-directories", caseDeepDirs},
+		{"many-files-readdir", caseManyFiles},
+		{"large-file", caseLargeFile},
+		{"random-write-model", caseRandomModel},
+		{"append-pattern", caseAppend},
+		{"rename-over-existing", caseRenameOver},
+		{"fsync-durability", caseFsync},
+		{"seek-read-write", caseSeek},
+	}
+}
+
+// CrashCases returns the CrashMonkey-style cases (need crash hooks).
+func CrashCases() []Case {
+	return []Case{
+		{"crash-fsynced-prefix", caseCrashPrefix},
+		{"crash-unsynced-dropped", caseCrashUnsynced},
+	}
+}
+
+func caseCreateReadWrite(p *sim.Proc, tgt *Target) error {
+	c, err := tgt.Attach(p)
+	if err != nil {
+		return err
+	}
+	fd, err := c.Create(p, "/crw")
+	if err != nil {
+		return err
+	}
+	data := []byte("the quick brown fox")
+	if _, err := c.WriteAt(p, fd, 0, data); err != nil {
+		return err
+	}
+	got := make([]byte, len(data))
+	n, err := c.ReadAt(p, fd, 0, got)
+	if err != nil || n != len(data) || !bytes.Equal(got, data) {
+		return fmt.Errorf("read back n=%d err=%v", n, err)
+	}
+	// Overwrite a middle range.
+	if _, err := c.WriteAt(p, fd, 4, []byte("SLOW!")); err != nil {
+		return err
+	}
+	c.ReadAt(p, fd, 0, got)
+	if string(got) != "the SLOW! brown fox" {
+		return fmt.Errorf("overwrite result %q", got)
+	}
+	return nil
+}
+
+func caseErrors(p *sim.Proc, tgt *Target) error {
+	c, _ := tgt.Attach(p)
+	if _, err := c.Open(p, "/nosuch", false); err == nil {
+		return fmt.Errorf("open of missing file succeeded")
+	}
+	if _, err := c.Create(p, "/dup"); err != nil {
+		return err
+	}
+	if _, err := c.Create(p, "/dup"); err == nil {
+		return fmt.Errorf("duplicate create succeeded")
+	}
+	if err := c.Mkdir(p, "/dup"); err == nil {
+		return fmt.Errorf("mkdir over file succeeded")
+	}
+	if err := c.Unlink(p, "/nosuch"); err == nil {
+		return fmt.Errorf("unlink of missing file succeeded")
+	}
+	return nil
+}
+
+func caseRename(p *sim.Proc, tgt *Target) error {
+	c, _ := tgt.Attach(p)
+	fd, err := c.Create(p, "/ra")
+	if err != nil {
+		return err
+	}
+	c.WriteAt(p, fd, 0, []byte("payload"))
+	if err := c.Rename(p, "/ra", "/rb"); err != nil {
+		return err
+	}
+	if _, _, err := c.Stat(p, "/ra"); err == nil {
+		return fmt.Errorf("old name still visible")
+	}
+	fd2, err := c.Open(p, "/rb", false)
+	if err != nil {
+		return err
+	}
+	got := make([]byte, 7)
+	if n, _ := c.ReadAt(p, fd2, 0, got); n != 7 || string(got) != "payload" {
+		return fmt.Errorf("renamed file content %q", got[:n])
+	}
+	return nil
+}
+
+func caseUnlink(p *sim.Proc, tgt *Target) error {
+	c, _ := tgt.Attach(p)
+	if _, err := c.Create(p, "/u"); err != nil {
+		return err
+	}
+	if err := c.Unlink(p, "/u"); err != nil {
+		return err
+	}
+	if _, _, err := c.Stat(p, "/u"); err == nil {
+		return fmt.Errorf("unlinked file visible")
+	}
+	// The name is reusable.
+	if _, err := c.Create(p, "/u"); err != nil {
+		return fmt.Errorf("recreate after unlink: %v", err)
+	}
+	return nil
+}
+
+func caseTruncate(p *sim.Proc, tgt *Target) error {
+	c, _ := tgt.Attach(p)
+	fd, _ := c.Create(p, "/t")
+	c.WriteAt(p, fd, 0, bytes.Repeat([]byte{9}, 10000))
+	if err := c.Truncate(p, "/t", 100); err != nil {
+		return err
+	}
+	_, size, err := c.Stat(p, "/t")
+	if err != nil || size != 100 {
+		return fmt.Errorf("size after truncate = %d, %v", size, err)
+	}
+	if err := c.Truncate(p, "/t", 0); err != nil {
+		return err
+	}
+	if _, size, _ = c.Stat(p, "/t"); size != 0 {
+		return fmt.Errorf("size after truncate-to-zero = %d", size)
+	}
+	return nil
+}
+
+func caseSparse(p *sim.Proc, tgt *Target) error {
+	c, _ := tgt.Attach(p)
+	fd, _ := c.Create(p, "/sparse")
+	if _, err := c.WriteAt(p, fd, 1<<20, []byte("tail")); err != nil {
+		return err
+	}
+	buf := make([]byte, 4096)
+	n, err := c.ReadAt(p, fd, 0, buf)
+	if err != nil || n != 4096 {
+		return fmt.Errorf("hole read n=%d err=%v", n, err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			return fmt.Errorf("hole contains nonzero data")
+		}
+	}
+	_, size, _ := c.Stat(p, "/sparse")
+	if size != 1<<20+4 {
+		return fmt.Errorf("sparse size = %d", size)
+	}
+	return nil
+}
+
+func caseDeepDirs(p *sim.Proc, tgt *Target) error {
+	c, _ := tgt.Attach(p)
+	path := ""
+	for i := 0; i < 8; i++ {
+		path = fmt.Sprintf("%s/d%d", path, i)
+		if err := c.Mkdir(p, path); err != nil {
+			return fmt.Errorf("mkdir %s: %v", path, err)
+		}
+	}
+	leaf := path + "/leaf"
+	fd, err := c.Create(p, leaf)
+	if err != nil {
+		return err
+	}
+	c.WriteAt(p, fd, 0, []byte("deep"))
+	if _, size, err := c.Stat(p, leaf); err != nil || size != 4 {
+		return fmt.Errorf("deep leaf stat: %d, %v", size, err)
+	}
+	return nil
+}
+
+func caseManyFiles(p *sim.Proc, tgt *Target) error {
+	c, _ := tgt.Attach(p)
+	if err := c.Mkdir(p, "/many"); err != nil {
+		return err
+	}
+	const n = 300
+	for i := 0; i < n; i++ {
+		if _, err := c.Create(p, fmt.Sprintf("/many/f%03d", i)); err != nil {
+			return fmt.Errorf("create %d: %v", i, err)
+		}
+	}
+	ents, err := c.ReadDir(p, "/many")
+	if err != nil || len(ents) != n {
+		return fmt.Errorf("readdir = %d entries, %v", len(ents), err)
+	}
+	return nil
+}
+
+func caseLargeFile(p *sim.Proc, tgt *Target) error {
+	c, _ := tgt.Attach(p)
+	fd, _ := c.Create(p, "/large")
+	chunk := bytes.Repeat([]byte{0xA5}, 256<<10)
+	const total = 16 << 20
+	for off := 0; off < total; off += len(chunk) {
+		if _, err := c.WriteAt(p, fd, uint64(off), chunk); err != nil {
+			return err
+		}
+	}
+	if err := c.Fsync(p, fd); err != nil {
+		return err
+	}
+	p.Sleep(2 * time.Second) // publication
+	got := make([]byte, len(chunk))
+	for off := 0; off < total; off += len(chunk) {
+		n, err := c.ReadAt(p, fd, uint64(off), got)
+		if err != nil || n != len(chunk) || !bytes.Equal(got, chunk) {
+			return fmt.Errorf("large read at %d: n=%d err=%v", off, n, err)
+		}
+	}
+	return nil
+}
+
+func caseRandomModel(p *sim.Proc, tgt *Target) error {
+	c, _ := tgt.Attach(p)
+	fd, _ := c.Create(p, "/model")
+	rng := rand.New(rand.NewSource(11))
+	const size = 1 << 20
+	model := make([]byte, size)
+	for i := 0; i < 60; i++ {
+		off := rng.Intn(size - 20000)
+		n := 1 + rng.Intn(20000)
+		data := make([]byte, n)
+		rng.Read(data)
+		copy(model[off:], data)
+		if _, err := c.WriteAt(p, fd, uint64(off), data); err != nil {
+			return err
+		}
+		if i%20 == 19 {
+			if err := c.Fsync(p, fd); err != nil {
+				return err
+			}
+		}
+	}
+	_, fsize, _ := c.Stat(p, "/model")
+	got := make([]byte, fsize)
+	if _, err := c.ReadAt(p, fd, 0, got); err != nil {
+		return err
+	}
+	if !bytes.Equal(got, model[:fsize]) {
+		return fmt.Errorf("content diverged from model")
+	}
+	// And again after publication drains.
+	p.Sleep(2 * time.Second)
+	if _, err := c.ReadAt(p, fd, 0, got); err != nil {
+		return err
+	}
+	if !bytes.Equal(got, model[:fsize]) {
+		return fmt.Errorf("published content diverged from model")
+	}
+	return nil
+}
+
+func caseAppend(p *sim.Proc, tgt *Target) error {
+	c, _ := tgt.Attach(p)
+	fd, _ := c.Create(p, "/app")
+	var want []byte
+	for i := 0; i < 50; i++ {
+		rec := []byte(fmt.Sprintf("record-%03d;", i))
+		if _, err := c.Write(p, fd, rec); err != nil {
+			return err
+		}
+		want = append(want, rec...)
+	}
+	got := make([]byte, len(want))
+	n, err := c.ReadAt(p, fd, 0, got)
+	if err != nil || n != len(want) || !bytes.Equal(got, want) {
+		return fmt.Errorf("append stream mismatch n=%d err=%v", n, err)
+	}
+	return nil
+}
+
+func caseRenameOver(p *sim.Proc, tgt *Target) error {
+	c, _ := tgt.Attach(p)
+	fda, _ := c.Create(p, "/src")
+	c.WriteAt(p, fda, 0, []byte("new"))
+	fdb, _ := c.Create(p, "/dst")
+	c.WriteAt(p, fdb, 0, []byte("old"))
+	if err := c.Rename(p, "/src", "/dst"); err != nil {
+		return err
+	}
+	fd, err := c.Open(p, "/dst", false)
+	if err != nil {
+		return err
+	}
+	got := make([]byte, 3)
+	c.ReadAt(p, fd, 0, got)
+	if string(got) != "new" {
+		return fmt.Errorf("rename-over kept old content %q", got)
+	}
+	return nil
+}
+
+func caseFsync(p *sim.Proc, tgt *Target) error {
+	c, _ := tgt.Attach(p)
+	fd, _ := c.Create(p, "/dur")
+	c.WriteAt(p, fd, 0, []byte("must-survive"))
+	if err := c.Fsync(p, fd); err != nil {
+		return err
+	}
+	return nil
+}
+
+func caseSeek(p *sim.Proc, tgt *Target) error {
+	c, _ := tgt.Attach(p)
+	fd, _ := c.Create(p, "/seek")
+	c.Write(p, fd, []byte("0123456789"))
+	if err := c.Seek(fd, 3); err != nil {
+		return err
+	}
+	got := make([]byte, 4)
+	n, err := c.Read(p, fd, got)
+	if err != nil || n != 4 || string(got) != "3456" {
+		return fmt.Errorf("seek+read = %q, %v", got[:n], err)
+	}
+	return nil
+}
+
+// caseCrashPrefix verifies CrashMonkey's core property: everything fsynced
+// before a crash decodes cleanly from the persisted log (or was already
+// published).
+func caseCrashPrefix(p *sim.Proc, tgt *Target) error {
+	c, err := tgt.Attach(p)
+	if err != nil {
+		return err
+	}
+	fd, _ := c.Create(p, "/cm")
+	payload := bytes.Repeat([]byte{0xEE}, 32<<10)
+	c.WriteAt(p, fd, 0, payload)
+	if err := c.Fsync(p, fd); err != nil {
+		return err
+	}
+	tgt.CrashPrimaryPM()
+	la, ctx, err := tgt.ReopenLog()
+	if err != nil {
+		return err
+	}
+	if _, err := la.DecodeRange(ctx, la.Tail(), la.Head()); err != nil {
+		return fmt.Errorf("recovered log corrupt: %v", err)
+	}
+	return nil
+}
+
+// caseCrashUnsynced verifies that a crash without fsync exposes a clean
+// prefix (possibly empty), never torn entries.
+func caseCrashUnsynced(p *sim.Proc, tgt *Target) error {
+	c, err := tgt.Attach(p)
+	if err != nil {
+		return err
+	}
+	fd, _ := c.Create(p, "/cm2")
+	c.WriteAt(p, fd, 0, bytes.Repeat([]byte{0x11}, 8<<10))
+	// No fsync: the appends are persisted per-entry by LibFS, but whatever
+	// the crash preserves must decode cleanly.
+	tgt.CrashPrimaryPM()
+	la, ctx, err := tgt.ReopenLog()
+	if err != nil {
+		return err
+	}
+	if _, err := la.DecodeRange(ctx, la.Tail(), la.Head()); err != nil {
+		return fmt.Errorf("post-crash log not a clean prefix: %v", err)
+	}
+	return nil
+}

@@ -1,0 +1,358 @@
+package check
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"linefs/internal/fs"
+	"linefs/internal/sim"
+)
+
+// More generic cases, extending the suite toward xfstests' breadth.
+func init() {
+	extra := []Case{
+		{"name-length-boundary", caseNameBoundary},
+		{"zero-size-file", caseZeroSize},
+		{"block-boundary-writes", caseBlockBoundary},
+		{"many-small-writes", caseSmallWrites},
+		{"create-delete-churn", caseChurn},
+		{"rename-across-dirs", caseRenameAcross},
+		{"fsync-after-rename", caseFsyncAfterRename},
+		{"stat-types", caseStatTypes},
+		{"grow-by-truncate", caseGrowTruncate},
+		{"two-clients-isolation", caseTwoClients},
+		{"reuse-after-delete", caseReuse},
+		{"varmail-pattern", caseVarmailPattern},
+		{"write-read-interleave", caseInterleave},
+		{"published-then-modified", casePublishedModified},
+	}
+	genericExtra = extra
+}
+
+var genericExtra []Case
+
+// AllCases returns the complete suite.
+func AllCases() []Case {
+	return append(append(Generic(), genericExtra...), CrashCases()...)
+}
+
+func caseNameBoundary(p *sim.Proc, tgt *Target) error {
+	c, _ := tgt.Attach(p)
+	ok := strings.Repeat("n", fs.MaxName)
+	if _, err := c.Create(p, "/"+ok); err != nil {
+		return fmt.Errorf("max-length name rejected: %v", err)
+	}
+	tooLong := strings.Repeat("n", fs.MaxName+1)
+	if _, err := c.Create(p, "/"+tooLong); err == nil {
+		return fmt.Errorf("over-length name accepted")
+	}
+	if _, _, err := c.Stat(p, "/"+ok); err != nil {
+		return err
+	}
+	return nil
+}
+
+func caseZeroSize(p *sim.Proc, tgt *Target) error {
+	c, _ := tgt.Attach(p)
+	fd, err := c.Create(p, "/empty")
+	if err != nil {
+		return err
+	}
+	if err := c.Fsync(p, fd); err != nil {
+		return err
+	}
+	_, size, err := c.Stat(p, "/empty")
+	if err != nil || size != 0 {
+		return fmt.Errorf("empty file stat: size=%d err=%v", size, err)
+	}
+	buf := make([]byte, 10)
+	if n, _ := c.ReadAt(p, fd, 0, buf); n != 0 {
+		return fmt.Errorf("read %d bytes from empty file", n)
+	}
+	return nil
+}
+
+func caseBlockBoundary(p *sim.Proc, tgt *Target) error {
+	c, _ := tgt.Attach(p)
+	fd, _ := c.Create(p, "/bb")
+	// Writes straddling and abutting 4K boundaries.
+	offsets := []uint64{fs.BlockSize - 1, fs.BlockSize, fs.BlockSize + 1, 2*fs.BlockSize - 3}
+	for i, off := range offsets {
+		data := bytes.Repeat([]byte{byte(i + 1)}, 7)
+		if _, err := c.WriteAt(p, fd, off, data); err != nil {
+			return err
+		}
+		got := make([]byte, 7)
+		if n, err := c.ReadAt(p, fd, off, got); err != nil || n != 7 || !bytes.Equal(got, data) {
+			return fmt.Errorf("boundary write at %d: n=%d err=%v", off, n, err)
+		}
+	}
+	return nil
+}
+
+func caseSmallWrites(p *sim.Proc, tgt *Target) error {
+	c, _ := tgt.Attach(p)
+	fd, _ := c.Create(p, "/small")
+	var want bytes.Buffer
+	for i := 0; i < 500; i++ {
+		rec := []byte(fmt.Sprintf("%04d|", i))
+		if _, err := c.Write(p, fd, rec); err != nil {
+			return err
+		}
+		want.Write(rec)
+	}
+	got := make([]byte, want.Len())
+	n, err := c.ReadAt(p, fd, 0, got)
+	if err != nil || n != want.Len() || !bytes.Equal(got, want.Bytes()) {
+		return fmt.Errorf("500 small writes: n=%d err=%v", n, err)
+	}
+	return nil
+}
+
+func caseChurn(p *sim.Proc, tgt *Target) error {
+	c, _ := tgt.Attach(p)
+	for round := 0; round < 30; round++ {
+		name := fmt.Sprintf("/churn%d", round%5)
+		fd, err := c.Create(p, name)
+		if err != nil {
+			return fmt.Errorf("round %d create: %v", round, err)
+		}
+		c.WriteAt(p, fd, 0, []byte{byte(round)})
+		c.Close(p, fd)
+		if err := c.Unlink(p, name); err != nil {
+			return fmt.Errorf("round %d unlink: %v", round, err)
+		}
+	}
+	ents, err := c.ReadDir(p, "/")
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name, "churn") {
+			return fmt.Errorf("churn file %s survives", e.Name)
+		}
+	}
+	return nil
+}
+
+func caseRenameAcross(p *sim.Proc, tgt *Target) error {
+	c, _ := tgt.Attach(p)
+	c.Mkdir(p, "/src")
+	c.Mkdir(p, "/dst")
+	fd, _ := c.Create(p, "/src/file")
+	c.WriteAt(p, fd, 0, []byte("moved"))
+	if err := c.Rename(p, "/src/file", "/dst/file"); err != nil {
+		return err
+	}
+	if _, _, err := c.Stat(p, "/src/file"); err == nil {
+		return fmt.Errorf("source name survives cross-dir rename")
+	}
+	rfd, err := c.Open(p, "/dst/file", false)
+	if err != nil {
+		return err
+	}
+	got := make([]byte, 5)
+	c.ReadAt(p, rfd, 0, got)
+	if string(got) != "moved" {
+		return fmt.Errorf("content after rename: %q", got)
+	}
+	return nil
+}
+
+func caseFsyncAfterRename(p *sim.Proc, tgt *Target) error {
+	c, _ := tgt.Attach(p)
+	fd, _ := c.Create(p, "/tmpname")
+	c.WriteAt(p, fd, 0, []byte("wal-style"))
+	if err := c.Rename(p, "/tmpname", "/finalname"); err != nil {
+		return err
+	}
+	if err := c.Fsync(p, fd); err != nil {
+		return err
+	}
+	p.Sleep(2 * time.Second)
+	if _, _, err := c.Stat(p, "/finalname"); err != nil {
+		return fmt.Errorf("renamed file missing after publication: %v", err)
+	}
+	return nil
+}
+
+func caseStatTypes(p *sim.Proc, tgt *Target) error {
+	c, _ := tgt.Attach(p)
+	c.Mkdir(p, "/d1")
+	c.Create(p, "/f1")
+	if typ, _, _ := c.Stat(p, "/d1"); typ != fs.TypeDir {
+		return fmt.Errorf("dir stat type = %v", typ)
+	}
+	if typ, _, _ := c.Stat(p, "/f1"); typ != fs.TypeFile {
+		return fmt.Errorf("file stat type = %v", typ)
+	}
+	if _, err := c.Open(p, "/d1", false); err == nil {
+		return fmt.Errorf("open of a directory as a file succeeded")
+	}
+	return nil
+}
+
+func caseGrowTruncate(p *sim.Proc, tgt *Target) error {
+	c, _ := tgt.Attach(p)
+	fd, _ := c.Create(p, "/grow")
+	c.WriteAt(p, fd, 0, []byte("head"))
+	if err := c.Truncate(p, "/grow", 10000); err != nil {
+		return err
+	}
+	_, size, _ := c.Stat(p, "/grow")
+	if size != 10000 {
+		return fmt.Errorf("size after growing truncate = %d", size)
+	}
+	buf := make([]byte, 100)
+	if n, err := c.ReadAt(p, fd, 5000, buf); err != nil || n != 100 {
+		return fmt.Errorf("read in grown region: n=%d err=%v", n, err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			return fmt.Errorf("grown region not zero")
+		}
+	}
+	return nil
+}
+
+func caseTwoClients(p *sim.Proc, tgt *Target) error {
+	a, err := tgt.Attach(p)
+	if err != nil {
+		return err
+	}
+	b, err := tgt.Attach(p)
+	if err != nil {
+		return err
+	}
+	// Disjoint namespaces: no interference.
+	a.Mkdir(p, "/ca")
+	b.Mkdir(p, "/cb")
+	fda, _ := a.Create(p, "/ca/f")
+	fdb, _ := b.Create(p, "/cb/f")
+	a.WriteAt(p, fda, 0, []byte("AAAA"))
+	b.WriteAt(p, fdb, 0, []byte("BBBB"))
+	if err := a.Fsync(p, fda); err != nil {
+		return err
+	}
+	if err := b.Fsync(p, fdb); err != nil {
+		return err
+	}
+	p.Sleep(2 * time.Second)
+	// After publication each client sees the other's tree.
+	if _, _, err := a.Stat(p, "/cb/f"); err != nil {
+		return fmt.Errorf("client a cannot see published /cb/f: %v", err)
+	}
+	got := make([]byte, 4)
+	rfd, err := a.Open(p, "/cb/f", false)
+	if err != nil {
+		return err
+	}
+	a.ReadAt(p, rfd, 0, got)
+	if string(got) != "BBBB" {
+		return fmt.Errorf("cross-client read = %q", got)
+	}
+	return nil
+}
+
+func caseReuse(p *sim.Proc, tgt *Target) error {
+	c, _ := tgt.Attach(p)
+	fd, _ := c.Create(p, "/r1")
+	c.WriteAt(p, fd, 0, bytes.Repeat([]byte{1}, 100000))
+	c.Fsync(p, fd)
+	p.Sleep(time.Second)
+	if err := c.Unlink(p, "/r1"); err != nil {
+		return err
+	}
+	c.Fsync(p, fd)
+	p.Sleep(time.Second)
+	// Freed blocks must be reusable without corrupting the new file.
+	fd2, _ := c.Create(p, "/r2")
+	c.WriteAt(p, fd2, 0, bytes.Repeat([]byte{2}, 100000))
+	c.Fsync(p, fd2)
+	p.Sleep(time.Second)
+	got := make([]byte, 100000)
+	n, err := c.ReadAt(p, fd2, 0, got)
+	if err != nil || n != 100000 || got[0] != 2 || got[99999] != 2 {
+		return fmt.Errorf("reused block content wrong: n=%d err=%v", n, err)
+	}
+	return nil
+}
+
+func caseVarmailPattern(p *sim.Proc, tgt *Target) error {
+	c, _ := tgt.Attach(p)
+	c.Mkdir(p, "/mail")
+	for i := 0; i < 15; i++ {
+		name := fmt.Sprintf("/mail/box%d", i%3)
+		if _, _, err := c.Stat(p, name); err == nil {
+			if err := c.Unlink(p, name); err != nil {
+				return err
+			}
+		}
+		fd, err := c.Create(p, name)
+		if err != nil {
+			return err
+		}
+		c.WriteAt(p, fd, 0, bytes.Repeat([]byte{byte(i)}, 8192))
+		if err := c.Fsync(p, fd); err != nil {
+			return err
+		}
+		c.Close(p, fd)
+	}
+	return nil
+}
+
+func caseInterleave(p *sim.Proc, tgt *Target) error {
+	c, _ := tgt.Attach(p)
+	fd, _ := c.Create(p, "/inter")
+	model := make([]byte, 32768)
+	for i := 0; i < 40; i++ {
+		off := (i * 787) % (len(model) - 256)
+		data := bytes.Repeat([]byte{byte(i + 1)}, 256)
+		copy(model[off:], data)
+		if _, err := c.WriteAt(p, fd, uint64(off), data); err != nil {
+			return err
+		}
+		// Read a random earlier region after every write.
+		roff := (i * 311) % (len(model) - 128)
+		got := make([]byte, 128)
+		c.ReadAt(p, fd, uint64(roff), got)
+		_, size, _ := c.Stat(p, "/inter")
+		if int(size) > len(model) {
+			return fmt.Errorf("size overflow %d", size)
+		}
+		if !bytes.Equal(got, model[roff:roff+128]) {
+			return fmt.Errorf("interleaved read diverged at op %d", i)
+		}
+	}
+	return nil
+}
+
+func casePublishedModified(p *sim.Proc, tgt *Target) error {
+	c, _ := tgt.Attach(p)
+	fd, _ := c.Create(p, "/pm")
+	c.WriteAt(p, fd, 0, bytes.Repeat([]byte{0xAA}, 20000))
+	c.Fsync(p, fd)
+	p.Sleep(2 * time.Second) // fully published
+	// Modify a published file; reads must merge unpublished over published.
+	c.WriteAt(p, fd, 5000, bytes.Repeat([]byte{0xBB}, 1000))
+	got := make([]byte, 20000)
+	if _, err := c.ReadAt(p, fd, 0, got); err != nil {
+		return err
+	}
+	if got[4999] != 0xAA || got[5000] != 0xBB || got[5999] != 0xBB || got[6000] != 0xAA {
+		return fmt.Errorf("merge over published wrong: %x %x %x %x", got[4999], got[5000], got[5999], got[6000])
+	}
+	if err := c.Fsync(p, fd); err != nil {
+		return err
+	}
+	p.Sleep(2 * time.Second)
+	if _, err := c.ReadAt(p, fd, 0, got); err != nil {
+		return err
+	}
+	if got[5000] != 0xBB || got[4999] != 0xAA {
+		return fmt.Errorf("republished content wrong")
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package check
+
+import (
+	"testing"
+
+	"linefs/internal/assise"
+)
+
+func TestGenericSuiteOnLineFS(t *testing.T) {
+	mk := func() (*Target, error) { return NewLineFSTarget(1) }
+	for _, c := range append(Generic(), genericExtra...) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			if err := RunCase(mk, c); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestCrashSuiteOnLineFS(t *testing.T) {
+	mk := func() (*Target, error) { return NewLineFSTarget(1) }
+	for _, c := range CrashCases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			if err := RunCase(mk, c); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestGenericSuiteOnAssise(t *testing.T) {
+	mk := func() (*Target, error) { return NewAssiseTarget(1, assise.Pessimistic) }
+	for _, c := range append(Generic(), genericExtra...) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			if err := RunCase(mk, c); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestGenericSuiteOnHyperloop(t *testing.T) {
+	mk := func() (*Target, error) { return NewAssiseTarget(1, assise.Hyperloop) }
+	for _, c := range Generic() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			if err := RunCase(mk, c); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

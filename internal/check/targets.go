@@ -1,0 +1,101 @@
+package check
+
+import (
+	"fmt"
+
+	"linefs/internal/assise"
+	"linefs/internal/core"
+	"linefs/internal/dfs"
+	"linefs/internal/fs"
+	"linefs/internal/sim"
+)
+
+// NewLineFSTarget builds a fresh LineFS cluster target.
+func NewLineFSTarget(seed int64) (*Target, error) {
+	cfg := core.DefaultConfig()
+	cfg.Spec.PMSize = 768 << 20
+	cfg.VolSize = 512 << 20
+	cfg.LogSize = 24 << 20
+	cfg.ChunkSize = 1 << 20
+	cfg.MaxClients = 8
+	cfg.InodesPerVol = 16384
+	env := sim.NewEnv(seed)
+	cl, err := core.NewCluster(env, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cl.Start()
+	return &Target{
+		Env: env,
+		Attach: func(p *sim.Proc) (*dfs.Client, error) {
+			a, err := cl.Attach(p, 0)
+			if err != nil {
+				return nil, err
+			}
+			return a.Client, nil
+		},
+		CrashPrimaryPM: func() { cl.Machines[0].PM.Crash() },
+		ReopenLog: func() (*fs.LogArea, *fs.Ctx, error) {
+			ctx := fs.NoCostCtx(cl.Machines[0].PM)
+			la, err := fs.OpenLogArea(ctx, cfg.VolSize, cfg.LogSize)
+			return la, ctx, err
+		},
+	}, nil
+}
+
+// NewAssiseTarget builds a fresh Assise cluster target.
+func NewAssiseTarget(seed int64, mode assise.Mode) (*Target, error) {
+	cfg := assise.DefaultConfig()
+	cfg.Spec.PMSize = 768 << 20
+	cfg.VolSize = 512 << 20
+	cfg.LogSize = 24 << 20
+	cfg.ChunkSize = 1 << 20
+	cfg.MaxClients = 8
+	cfg.InodesPerVol = 16384
+	cfg.Mode = mode
+	env := sim.NewEnv(seed)
+	cl, err := assise.NewCluster(env, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cl.Start()
+	return &Target{
+		Env: env,
+		Attach: func(p *sim.Proc) (*dfs.Client, error) {
+			a, err := cl.Attach(p, 0)
+			if err != nil {
+				return nil, err
+			}
+			return a.Client, nil
+		},
+		CrashPrimaryPM: func() { cl.Machines[0].PM.Crash() },
+		ReopenLog: func() (*fs.LogArea, *fs.Ctx, error) {
+			ctx := fs.NoCostCtx(cl.Machines[0].PM)
+			la, err := fs.OpenLogArea(ctx, cfg.VolSize, cfg.LogSize)
+			return la, ctx, err
+		},
+	}, nil
+}
+
+// RunCase executes one case against a fresh target built by mk. It returns
+// nil on pass.
+func RunCase(mk func() (*Target, error), c Case) error {
+	tgt, err := mk()
+	if err != nil {
+		return err
+	}
+	defer tgt.Env.Shutdown()
+	var caseErr error
+	done := 0
+	tgt.Env.Go("check/"+c.Name, func(p *sim.Proc) {
+		caseErr = c.Run(p, tgt)
+		done++
+	})
+	for i := 0; i < 24000 && done == 0; i++ {
+		tgt.Env.RunFor(50 * 1000 * 1000) // 50ms steps, 20 minutes virtual cap
+	}
+	if done == 0 {
+		return fmt.Errorf("case %s: did not complete in simulated time", c.Name)
+	}
+	return caseErr
+}

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"linefs/internal/sim"
+)
+
+type fakeMember struct {
+	name   string
+	up     bool
+	epochs []uint64
+	downs  []string
+	ups    []string
+}
+
+func (f *fakeMember) Name() string                           { return f.name }
+func (f *fakeMember) Probe(p *sim.Proc) bool                 { return f.up }
+func (f *fakeMember) EpochChanged(p *sim.Proc, epoch uint64) { f.epochs = append(f.epochs, epoch) }
+func (f *fakeMember) PeerDown(p *sim.Proc, name string)      { f.downs = append(f.downs, name) }
+func (f *fakeMember) PeerUp(p *sim.Proc, name string)        { f.ups = append(f.ups, name) }
+
+func TestFailureDetectionAndRecovery(t *testing.T) {
+	e := sim.NewEnv(1)
+	m := NewManager(e, time.Second)
+	a := &fakeMember{name: "a", up: true}
+	b := &fakeMember{name: "b", up: true}
+	m.Join(a)
+	m.Join(b)
+	m.Start()
+
+	e.Go("fault", func(p *sim.Proc) {
+		p.Sleep(2500 * time.Millisecond)
+		b.up = false
+		p.Sleep(3 * time.Second)
+		b.up = true
+	})
+	e.RunUntil(8 * time.Second)
+
+	if m.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2 (one down + one up)", m.Epoch())
+	}
+	if len(a.downs) != 1 || a.downs[0] != "b" {
+		t.Fatalf("a.downs = %v", a.downs)
+	}
+	if len(a.ups) != 1 || a.ups[0] != "b" {
+		t.Fatalf("a.ups = %v", a.ups)
+	}
+	if !m.Alive("b") {
+		t.Fatal("b should be alive again")
+	}
+	if len(m.History) != 2 {
+		t.Fatalf("history = %v", m.History)
+	}
+	// The recovering node learns the new epoch itself.
+	found := false
+	for _, ep := range b.epochs {
+		if ep == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("recovered node never saw epoch 2")
+	}
+}
+
+func TestRootLeaseFailover(t *testing.T) {
+	e := sim.NewEnv(1)
+	m := NewManager(e, time.Second)
+	a := &fakeMember{name: "a", up: true}
+	b := &fakeMember{name: "b", up: true}
+	m.Join(a)
+	m.Join(b)
+	m.DelegateRoot("/", "a")
+	m.Start()
+
+	e.Go("fault", func(p *sim.Proc) {
+		p.Sleep(1500 * time.Millisecond)
+		a.up = false
+	})
+	e.RunUntil(4 * time.Second)
+
+	holder, ok := m.RootDelegate("/")
+	if !ok || holder != "b" {
+		t.Fatalf("root delegate = %q after failure, want b", holder)
+	}
+}
+
+func TestNoEventsWhenHealthy(t *testing.T) {
+	e := sim.NewEnv(1)
+	m := NewManager(e, time.Second)
+	a := &fakeMember{name: "a", up: true}
+	m.Join(a)
+	m.Start()
+	e.RunUntil(10 * time.Second)
+	if m.Epoch() != 0 || len(m.History) != 0 {
+		t.Fatalf("epoch=%d history=%v", m.Epoch(), m.History)
+	}
+	if len(a.epochs) != 0 {
+		t.Fatal("spurious epoch notifications")
+	}
+}
+
+func TestAliveMembers(t *testing.T) {
+	e := sim.NewEnv(1)
+	m := NewManager(e, time.Second)
+	a := &fakeMember{name: "a", up: true}
+	b := &fakeMember{name: "b", up: false}
+	m.Join(a)
+	m.Join(b)
+	m.Start()
+	e.RunUntil(2 * time.Second)
+	alive := m.AliveMembers()
+	if len(alive) != 1 || alive[0].Name() != "a" {
+		t.Fatalf("alive = %d members", len(alive))
+	}
+}

@@ -1,0 +1,216 @@
+// Package compress implements the Lempel-Ziv-Welch codec NICFS runs in its
+// replication pipeline's compression stage (the paper cites LZW running at
+// ~200 MB/s per SmartNIC core). The implementation is self-contained:
+// variable-width codes from 9 to 16 bits, MSB-first bit packing, and a
+// dictionary reset when the code space fills.
+package compress
+
+import (
+	"errors"
+	"fmt"
+)
+
+const (
+	minBits   = 9
+	maxBits   = 16
+	clearCode = 256 // emitted to reset the dictionary
+	eofCode   = 257
+	firstCode = 258
+)
+
+type bitWriter struct {
+	out  []byte
+	cur  uint32
+	nbit uint
+}
+
+func (w *bitWriter) write(code uint32, bits uint) {
+	w.cur = w.cur<<bits | code
+	w.nbit += bits
+	for w.nbit >= 8 {
+		w.nbit -= 8
+		w.out = append(w.out, byte(w.cur>>w.nbit))
+	}
+}
+
+func (w *bitWriter) flush() {
+	if w.nbit > 0 {
+		w.out = append(w.out, byte(w.cur<<(8-w.nbit)))
+		w.nbit = 0
+	}
+}
+
+type bitReader struct {
+	in   []byte
+	pos  int
+	cur  uint32
+	nbit uint
+}
+
+var errTruncated = errors.New("compress: truncated input")
+
+func (r *bitReader) read(bits uint) (uint32, error) {
+	for r.nbit < bits {
+		if r.pos >= len(r.in) {
+			return 0, errTruncated
+		}
+		r.cur = r.cur<<8 | uint32(r.in[r.pos])
+		r.pos++
+		r.nbit += 8
+	}
+	r.nbit -= bits
+	return (r.cur >> r.nbit) & (1<<bits - 1), nil
+}
+
+// Compress encodes src with LZW. Empty input yields a minimal valid stream.
+func Compress(src []byte) []byte {
+	var w bitWriter
+	w.out = make([]byte, 0, len(src)/2+16)
+
+	// Dictionary: maps (prefix code, next byte) to code. Encoded as
+	// uint32 keys: prefix<<8 | byte.
+	dict := make(map[uint32]uint32, 4096)
+	next := uint32(firstCode)
+	bits := uint(minBits)
+
+	w.write(clearCode, bits)
+	if len(src) == 0 {
+		w.write(eofCode, bits)
+		w.flush()
+		return w.out
+	}
+
+	cur := uint32(src[0])
+	for _, b := range src[1:] {
+		key := cur<<8 | uint32(b)
+		if code, ok := dict[key]; ok {
+			cur = code
+			continue
+		}
+		w.write(cur, bits)
+		dict[key] = next
+		next++
+		if next == 1<<bits && bits < maxBits {
+			bits++
+		}
+		if next >= 1<<maxBits-1 {
+			w.write(clearCode, bits)
+			dict = make(map[uint32]uint32, 4096)
+			next = firstCode
+			bits = minBits
+		}
+		cur = uint32(b)
+	}
+	w.write(cur, bits)
+	w.write(eofCode, bits)
+	w.flush()
+	return w.out
+}
+
+// Decompress decodes an LZW stream produced by Compress.
+func Decompress(src []byte) ([]byte, error) {
+	r := bitReader{in: src}
+	out := make([]byte, 0, len(src)*3)
+
+	// Dictionary entries: each code maps to (prefix code, suffix byte);
+	// literals are implicit.
+	type entry struct {
+		prefix uint32
+		suffix byte
+	}
+	var dict []entry
+	bits := uint(minBits)
+	next := uint32(firstCode)
+	reset := func() {
+		dict = dict[:0]
+		next = firstCode
+		bits = minBits
+	}
+	reset()
+
+	expand := func(code uint32, buf []byte) ([]byte, error) {
+		start := len(buf)
+		for code >= firstCode {
+			idx := code - firstCode
+			if int(idx) >= len(dict) {
+				return nil, fmt.Errorf("compress: bad code %d", code)
+			}
+			buf = append(buf, dict[idx].suffix)
+			code = dict[idx].prefix
+		}
+		if code >= 256 {
+			return nil, fmt.Errorf("compress: bad literal %d", code)
+		}
+		buf = append(buf, byte(code))
+		// Reverse the appended segment (we walked suffix-first).
+		seg := buf[start:]
+		for i, j := 0, len(seg)-1; i < j; i, j = i+1, j-1 {
+			seg[i], seg[j] = seg[j], seg[i]
+		}
+		return buf, nil
+	}
+
+	prev := uint32(clearCode)
+	var scratch []byte
+	for {
+		code, err := r.read(bits)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case code == eofCode:
+			return out, nil
+		case code == clearCode:
+			reset()
+			prev = clearCode
+			continue
+		}
+		if prev == clearCode {
+			if code >= 256 {
+				return nil, fmt.Errorf("compress: non-literal %d after clear", code)
+			}
+			out = append(out, byte(code))
+			prev = code
+		} else {
+			var suffix byte
+			if code < next {
+				scratch, _ = expand(code, scratch[:0])
+				suffix = scratch[0]
+				out = append(out, scratch...)
+			} else if code == next {
+				// The KwKwK case: the new entry is prev + first(prev).
+				scratch, err = expand(prev, scratch[:0])
+				if err != nil {
+					return nil, err
+				}
+				suffix = scratch[0]
+				out = append(out, scratch...)
+				out = append(out, suffix)
+			} else {
+				return nil, fmt.Errorf("compress: code %d ahead of dictionary", code)
+			}
+			dict = append(dict, entry{prefix: prev, suffix: suffix})
+			next++
+			if next == 1<<bits-1 && bits < maxBits {
+				// Encoder switches width when its next would hit 1<<bits;
+				// it assigns codes one ahead of the decoder, hence -1.
+				bits++
+			}
+			prev = code
+		}
+	}
+}
+
+// Ratio returns 1 - len(compressed)/len(src): the fraction of bytes saved
+// (0 for incompressible data).
+func Ratio(src []byte) float64 {
+	if len(src) == 0 {
+		return 0
+	}
+	c := Compress(src)
+	r := 1 - float64(len(c))/float64(len(src))
+	if r < 0 {
+		return 0
+	}
+	return r
+}

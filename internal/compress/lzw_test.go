@@ -1,0 +1,122 @@
+package compress
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte) {
+	t.Helper()
+	c := Compress(src)
+	d, err := Decompress(c)
+	if err != nil {
+		t.Fatalf("decompress: %v (input len %d)", err, len(src))
+	}
+	if !bytes.Equal(src, d) {
+		t.Fatalf("round trip mismatch: in %d bytes, out %d bytes", len(src), len(d))
+	}
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("a"),
+		[]byte("abababababababab"),
+		[]byte("TOBEORNOTTOBEORTOBEORNOT"),
+		bytes.Repeat([]byte{0}, 100000),
+		bytes.Repeat([]byte("abcdefgh"), 10000),
+	}
+	for _, c := range cases {
+		roundTrip(t, c)
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20; i++ {
+		n := rng.Intn(100000)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		roundTrip(t, buf)
+	}
+}
+
+func TestRoundTripDictionaryReset(t *testing.T) {
+	// Enough distinct digrams to exhaust the 16-bit code space and force a
+	// clear code mid-stream.
+	rng := rand.New(rand.NewSource(7))
+	buf := make([]byte, 2<<20)
+	rng.Read(buf)
+	roundTrip(t, buf)
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(src []byte) bool {
+		c := Compress(src)
+		d, err := Decompress(c)
+		return err == nil && bytes.Equal(src, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressesRedundantData(t *testing.T) {
+	src := bytes.Repeat([]byte("record0000"), 5000)
+	c := Compress(src)
+	if len(c) >= len(src)/3 {
+		t.Fatalf("redundant data compressed to %d of %d bytes", len(c), len(src))
+	}
+}
+
+func TestRatioZeroHeavyInput(t *testing.T) {
+	// An 80%-zero input should compress by well over half.
+	rng := rand.New(rand.NewSource(1))
+	buf := make([]byte, 1<<18)
+	for i := range buf {
+		if rng.Float64() > 0.8 {
+			buf[i] = byte(rng.Intn(256))
+		}
+	}
+	if r := Ratio(buf); r < 0.5 {
+		t.Fatalf("ratio = %.2f, want > 0.5 for 80%% zeros", r)
+	}
+	rng.Read(buf)
+	if r := Ratio(buf); r > 0.05 {
+		t.Fatalf("ratio = %.2f for random data, want ~0", r)
+	}
+}
+
+func TestDecompressRejectsGarbage(t *testing.T) {
+	if _, err := Decompress([]byte{0xff, 0xff, 0xff}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Decompress(nil); err == nil {
+		t.Fatal("empty stream accepted (missing EOF code)")
+	}
+}
+
+func TestDecompressTruncated(t *testing.T) {
+	c := Compress(bytes.Repeat([]byte("hello world "), 1000))
+	if _, err := Decompress(c[:len(c)/2]); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func BenchmarkCompress1MB(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	buf := make([]byte, 1<<20)
+	for i := range buf {
+		if rng.Float64() > 0.6 {
+			buf[i] = byte(rng.Intn(256))
+		}
+	}
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compress(buf)
+	}
+}

@@ -1,0 +1,634 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"linefs/internal/compress"
+	"linefs/internal/fs"
+	"linefs/internal/lease"
+	"linefs/internal/pipeline"
+	"linefs/internal/rdma"
+	"linefs/internal/sim"
+)
+
+// chunk is the pipeline unit: a contiguous, entry-aligned range of one
+// client's log (§3.1 "LineFS chunk").
+type chunk struct {
+	cs       *clientState
+	from, to uint64
+	firstSeq uint64
+
+	raw        []byte
+	entries    []*fs.Entry
+	touched    []touched
+	payload    []byte // raw or LZW-compressed, for the wire
+	compressed bool
+
+	memHeld int64
+
+	// sync marks fsync-path chunks (transferred on the low-latency class);
+	// started guards against double-processing when fsyncs overlap.
+	sync    bool
+	started bool
+
+	// prev is the previous chunk in formation order; transfers serialize
+	// on prev.sent so replicas receive contiguous log ranges.
+	prev *chunk
+
+	sent       *sim.Event
+	published  *sim.Event
+	replicated *sim.Event
+	acks       int
+	valid      bool
+	dropped    int64 // bytes removed by coalescing
+}
+
+// Dropped counts bytes removed by coalescing across all chunks.
+
+// clientState is the primary-side NICFS state for one LibFS client.
+type clientState struct {
+	n    *NICFS
+	slot int
+	id   string
+	log  *fs.LogArea
+
+	// queued is the log offset up to which chunks have been formed;
+	// pubNext the offset publication has applied through; repOff the
+	// offset fully acknowledged by all replicas.
+	queued  uint64
+	pubNext uint64
+	repOff  uint64
+	ackSent uint64
+
+	// lastFormed chains chunks in formation order.
+	lastFormed *chunk
+
+	// pending holds incomplete chunks in order, drained by the completion
+	// process for reclaim.
+	pending  []*chunk
+	compKick *sim.Event
+
+	// pubBuf reorders chunks arriving at the publish stage (the fsync path
+	// can inject chunks around the async pipeline).
+	pubBuf map[uint64]*chunk
+
+	// repWait tracks procs waiting for replication to reach an offset.
+	repWait []repWaiter
+
+	// fault records the first unrecoverable publication/validation error;
+	// subsequent fsyncs surface it instead of blocking (e.g. ENOSPC in the
+	// public area).
+	fault error
+
+	mainPl *pipeline.Pipeline[*chunk]
+	repPl  *pipeline.Pipeline[*chunk]
+	pubPl  *pipeline.Pipeline[*chunk]
+
+	// seqPl is the LineFS-NotParallel path: one worker does every stage.
+	seqQ *sim.Queue[*chunk]
+
+	clientConn *rdma.Conn // NICFS -> LibFS service (reclaim, revoke)
+
+	procs []*sim.Proc
+}
+
+type repWaiter struct {
+	off uint64
+	ev  *sim.Event
+}
+
+func newClientState(n *NICFS, slot int, id string, la *fs.LogArea) *clientState {
+	cs := &clientState{
+		n:        n,
+		slot:     slot,
+		id:       id,
+		log:      la,
+		compKick: sim.NewEvent(n.cl.Env),
+		pubBuf:   make(map[uint64]*chunk),
+	}
+	env := n.cl.Env
+	cfg := n.cl.Cfg
+	if cfg.Parallel {
+		// The ingress queue must never block the NICFS bulk workers (they
+		// also drain replication acks); backpressure comes from the NICMem
+		// flow-control watermarks in the fetch stage (§4).
+		plCfg := pipeline.Config{QueueCap: 1 << 20, ScaleThreshold: 5, MonitorInterval: 200 * time.Microsecond, ThreadBudget: 2 * cfg.Spec.NICCores}
+		cs.mainPl = pipeline.New(env, id+"/main", plCfg,
+			pipeline.Stage[*chunk]{Name: "fetch", MinWorkers: 1, MaxWorkers: 2, Work: cs.stageFetch},
+			pipeline.Stage[*chunk]{Name: "validate", MinWorkers: 1, MaxWorkers: 4, Work: cs.stageValidate},
+			pipeline.Stage[*chunk]{Name: "split", InOrder: true, Work: cs.stageSplit},
+		)
+		repStages := []pipeline.Stage[*chunk]{}
+		if cfg.Compress {
+			repStages = append(repStages, pipeline.Stage[*chunk]{
+				Name: "compress", MinWorkers: 1, MaxWorkers: cfg.Spec.NICCores, Work: cs.stageCompress,
+			})
+		}
+		repStages = append(repStages, pipeline.Stage[*chunk]{Name: "transfer", InOrder: true, Work: cs.stageTransfer})
+		cs.repPl = pipeline.New(env, id+"/rep", plCfg, repStages...)
+		cs.pubPl = pipeline.New(env, id+"/pub", plCfg,
+			pipeline.Stage[*chunk]{Name: "publish", InOrder: true, Work: cs.stagePublish},
+		)
+	} else {
+		cs.seqQ = sim.NewQueue[*chunk](env, 0)
+		cs.procs = append(cs.procs, env.Go(id+"/seq", cs.runSequential))
+	}
+	cs.procs = append(cs.procs, env.Go(id+"/completion", cs.runCompletion))
+	return cs
+}
+
+func (cs *clientState) kill() {
+	if cs.mainPl != nil {
+		cs.mainPl.Kill()
+		cs.repPl.Kill()
+		cs.pubPl.Kill()
+	}
+	if cs.seqQ != nil {
+		cs.seqQ.Close()
+	}
+	for _, p := range cs.procs {
+		p.Kill()
+	}
+	cs.procs = nil
+}
+
+// notifyClient sends a one-way message to the owning LibFS host service.
+func (cs *clientState) notifyClient(p *sim.Proc, op string, arg any, size int) {
+	if cs.clientConn == nil {
+		m := cs.n.cl.Machines[cs.n.machine]
+		cs.clientConn = rdma.Dial(m.NICPort, m.HostPort, clientService(cs.slot), true)
+	}
+	_ = cs.clientConn.Send(p, op, arg, size)
+}
+
+func clientService(slot int) string { return fmt.Sprintf("client%d", slot) }
+
+// formChunks turns the log range [queued, head) into chunks and submits
+// them to the pipelines. Formation is atomic in simulation (no blocking
+// between reading and advancing queued), so the fsync path and the async
+// path never form overlapping chunks. Returns the last chunk formed.
+func (cs *clientState) formChunks(p *sim.Proc, head uint64, sync bool) *chunk {
+	var last *chunk
+	for cs.queued < head {
+		to := head
+		// chunkReady notifications arrive at ~ChunkSize boundaries, so
+		// [queued, head) is normally a single chunk; fsync may cover
+		// several notifications' worth, which is fine — the range is
+		// entry-aligned at both ends.
+		ck := &chunk{
+			cs:         cs,
+			from:       cs.queued,
+			to:         to,
+			sync:       sync,
+			prev:       cs.lastFormed,
+			sent:       sim.NewEvent(cs.n.cl.Env),
+			published:  sim.NewEvent(cs.n.cl.Env),
+			replicated: sim.NewEvent(cs.n.cl.Env),
+		}
+		cs.queued = to
+		cs.lastFormed = ck
+		cs.pending = append(cs.pending, ck)
+		cs.compKick.Trigger(nil)
+		cs.compKick = sim.NewEvent(cs.n.cl.Env)
+		last = ck
+		if !sync {
+			if cs.mainPl != nil {
+				cs.mainPl.Submit(p, ck)
+			} else {
+				cs.seqQ.Put(p, ck)
+			}
+		}
+	}
+	return last
+}
+
+// stageFetch pulls the chunk's raw log bytes from host PM into SmartNIC
+// memory across PCIe (one-sided read through the NIC switch), under the
+// memory flow-control watermarks.
+func (cs *clientState) stageFetch(p *sim.Proc, ck *chunk) bool {
+	n := cs.n
+	start := p.Now()
+	size := int64(ck.to - ck.from)
+	n.memReserve(p, size)
+	ck.memHeld = size
+
+	m := n.cl.Machines[n.machine]
+	// One-sided read through the NIC switch: the NIC's read engine is the
+	// bottleneck; PM reads and the NIC DRAM placement stream behind it.
+	m.Fetch.Transfer(p, int(size), 0)
+	ck.raw = cs.log.ReadRaw(fs.NoCostCtx(m.PM), ck.from, int(size))
+	n.StageTimes["fetch"].add(time.Duration(p.Now() - start))
+	return true
+}
+
+// stageValidate decodes the chunk, verifies CRCs and sequence continuity,
+// checks lease ownership for every update, coalesces superseded entries,
+// and records namespace history for the current epoch (§3.3.1, §3.4).
+func (cs *clientState) stageValidate(p *sim.Proc, ck *chunk) bool {
+	n := cs.n
+	start := p.Now()
+	spec := n.cl.Cfg.Spec
+	// Scan cost across the wimpy cores.
+	n.nicCompute(p, validateCost(len(ck.raw), spec.ValidatePerMiB))
+
+	entries, err := fs.DecodeAll(ck.raw)
+	if err != nil {
+		// Corrupt chunk: reject; the client's log is not reclaimed and the
+		// fault is surfaced on its next fsync.
+		cs.failChunk(p, ck, err)
+		return false
+	}
+	if len(entries) > 0 {
+		ck.firstSeq = entries[0].Seq
+		if err := fs.ValidateSeq(entries, entries[0].Seq); err != nil {
+			cs.failChunk(p, ck, err)
+			return false
+		}
+	}
+	// Lease ownership: published log entries are accepted only when the
+	// client held the right leases (§3.4). Enforcement here covers file
+	// data (single-writer): a lapsed lease with no competing holder is
+	// renewed in place rather than rejecting a write that was legal when
+	// logged. Namespace operations were serialized by the client-side
+	// parent-directory lease at log time; the directory lease may have
+	// legitimately moved on by publication time (revocation), so they are
+	// checked structurally during application instead.
+	n.nicCompute(p, time.Duration(len(entries))*spec.LeaseCheckCost)
+	for _, e := range entries {
+		if e.Type != fs.OpWrite && e.Type != fs.OpTruncate {
+			continue
+		}
+		if !n.leases.Holds(e.Ino, cs.id, lease.Write) {
+			if ok, _ := n.leases.Acquire(e.Ino, cs.id, lease.Write); !ok {
+				cs.failChunk(p, ck, fmt.Errorf("nicfs: validation: write lease on inode %d lost", e.Ino))
+				return false
+			}
+		}
+	}
+	kept, dropped := entries, int64(0)
+	if !n.cl.Cfg.DisableCoalesce {
+		kept, dropped = fs.Coalesce(entries)
+	}
+	ck.entries = kept
+	ck.dropped = dropped
+	n.CoalescedBytes += dropped
+	ck.valid = true
+	ck.touched = touchedOf(kept)
+	n.history[n.epoch] = append(n.history[n.epoch], ck.touched...)
+	n.StageTimes["validate"].add(time.Duration(p.Now() - start))
+	return true
+}
+
+func touchedOf(entries []*fs.Entry) []touched {
+	var out []touched
+	for _, e := range entries {
+		switch e.Type {
+		case fs.OpCreate, fs.OpMkdir:
+			typ := fs.TypeFile
+			if e.Type == fs.OpMkdir {
+				typ = fs.TypeDir
+			}
+			out = append(out, touched{Ino: e.Ino, PIno: e.PIno, Name: e.Name, Type: typ})
+		case fs.OpUnlink, fs.OpRmdir:
+			out = append(out, touched{Ino: e.Ino, PIno: e.PIno, Name: e.Name, Gone: true})
+		case fs.OpRename:
+			out = append(out, touched{Ino: e.Ino, PIno: e.PIno2, Name: e.Name2})
+		case fs.OpWrite, fs.OpTruncate:
+			out = append(out, touched{Ino: e.Ino})
+		}
+	}
+	return out
+}
+
+// stageSplit hands the validated chunk to both the publishing and the
+// replication pipelines (they share the fetch and validation work, §3.3).
+func (cs *clientState) stageSplit(p *sim.Proc, ck *chunk) bool {
+	cs.pubPl.Submit(p, ck)
+	cs.repPl.Submit(p, ck)
+	return false // split consumes the item in the main pipeline
+}
+
+// stageCompress LZW-compresses the chunk payload if it pays off (§3.3.2).
+// NICFS parallelizes this stage aggressively because a single wimpy core
+// compresses at only ~200 MB/s.
+func (cs *clientState) stageCompress(p *sim.Proc, ck *chunk) bool {
+	n := cs.n
+	spec := n.cl.Cfg.Spec
+	comp := compress.Compress(ck.raw)
+	n.nicCompute(p, time.Duration(float64(len(ck.raw))/spec.CompressBW*float64(time.Second)))
+	if len(comp) < len(ck.raw) {
+		ck.payload = comp
+		ck.compressed = true
+	}
+	return true
+}
+
+// stagePublish applies chunks to the public area in log order, buffering
+// out-of-order arrivals (the fsync path can inject chunks directly).
+func (cs *clientState) stagePublish(p *sim.Proc, ck *chunk) bool {
+	cs.pubBuf[ck.from] = ck
+	for {
+		next, ok := cs.pubBuf[cs.pubNext]
+		if !ok {
+			return false
+		}
+		delete(cs.pubBuf, cs.pubNext)
+		cs.publishChunk(p, next)
+		cs.pubNext = next.to
+	}
+}
+
+// publishChunk applies one chunk's entries: metadata updates run on the
+// SmartNIC (indexes cached in NIC DRAM, writes across PCIe); data movement
+// is delegated to the host kernel worker's DMA engine, or performed across
+// PCIe directly in isolated mode (§3.3.1, §3.5).
+func (cs *clientState) publishChunk(p *sim.Proc, ck *chunk) {
+	n := cs.n
+	start := p.Now()
+	defer func() {
+		n.StageTimes["publish"].add(time.Duration(p.Now() - start))
+		ck.published.Trigger(nil)
+	}()
+	if !ck.valid {
+		return
+	}
+	ctx := n.cl.nicCtx(p, n.machine, "nicfs")
+	var items []copyItem
+	cp := func(dst int64, src []byte) {
+		items = append(items, copyItem{Dst: dst, Data: src})
+	}
+	metaStart := p.Now()
+	defer func() { n.stageAdd("pub-meta", time.Duration(p.Now()-metaStart)) }()
+	if err := n.vol.ApplyAll(ctx, ck.entries, cp); err != nil {
+		// Publication cannot proceed (e.g. the public area is out of
+		// space). Record the fault and unblock waiters; the client sees an
+		// error on its next fsync.
+		ck.valid = false
+		if cs.fault == nil {
+			cs.fault = err
+		}
+		cs.advanceRep(p, ck)
+		return
+	}
+	var total int
+	for _, it := range items {
+		total += len(it.Data)
+	}
+	n.PubBytes += int64(total)
+	if len(items) == 0 {
+		return
+	}
+	copyStart := p.Now()
+	n.publishItems(p, items)
+	n.stageAdd("pub-copy", time.Duration(p.Now()-copyStart))
+}
+
+// publishItems moves payload bytes to public PM via the kernel worker, or
+// directly over PCIe when the host is down. A kernel worker that dies
+// mid-copy is retried through the PCIe path — publication is idempotent.
+func (n *NICFS) publishItems(p *sim.Proc, items []copyItem) {
+	if !n.Isolated {
+		_, err, replied := n.kwConn.CallTimeout(p, "copy", &copyReq{Items: items},
+			64*len(items), 50*time.Millisecond)
+		if replied && err == nil {
+			return
+		}
+		n.Isolated = true
+	}
+	// Isolated operation: NICFS writes across PCIe itself.
+	m := n.cl.Machines[n.machine]
+	for _, it := range items {
+		m.PCIe.Transfer(p, len(it.Data), 0)
+		m.PM.WritePersist(p, it.Dst, it.Data)
+	}
+}
+
+// stageTransfer ships the chunk down the replication chain in log order.
+func (cs *clientState) stageTransfer(p *sim.Proc, ck *chunk) bool {
+	cs.transferChunk(p, ck)
+	return false
+}
+
+func (cs *clientState) transferChunk(p *sim.Proc, ck *chunk) {
+	n := cs.n
+	start := p.Now()
+	if ck.prev != nil && !ck.prev.sent.Triggered() {
+		p.Wait(ck.prev.sent)
+	}
+	if !ck.valid {
+		ck.sent.Trigger(nil)
+		cs.advanceRep(p, ck)
+		return
+	}
+	chain := n.cl.chain(cs.primaryMachine())
+	if len(chain) == 1 {
+		// No replicas configured.
+		ck.sent.Trigger(nil)
+		cs.advanceRep(p, ck)
+		return
+	}
+	payload := ck.payload
+	if payload == nil {
+		payload = ck.raw
+	}
+	msg := &replChunk{
+		Slot:       cs.slot,
+		From:       ck.from,
+		To:         ck.to,
+		FirstSeq:   ck.firstSeq,
+		Payload:    payload,
+		Compressed: ck.compressed,
+		RawLen:     len(ck.raw),
+		Touched:    ck.touched,
+		Epoch:      n.epoch,
+		Sync:       ck.sync,
+	}
+	n.RepBytes += int64(len(ck.raw))
+	n.RepWireBytes += int64(len(payload))
+	conn := n.peer(chain[1], ck.sync)
+	err := conn.Send(p, "repl-chunk", msg, len(payload))
+	ck.sent.Trigger(nil)
+	if err != nil {
+		// Next hop unreachable: account the chunk as replicated so the
+		// client is not blocked forever (degraded durability, as when a
+		// chain is cut; the cluster manager repairs membership).
+		cs.advanceRep(p, ck)
+	}
+	n.StageTimes["transfer"].add(time.Duration(p.Now() - start))
+}
+
+// ackChunk processes a replica's acknowledgment.
+func (cs *clientState) ackChunk(p *sim.Proc, ack *replAck) {
+	for _, ck := range cs.pending {
+		if ck.to == ack.To && !ck.replicated.Triggered() {
+			ck.acks++
+			if ck.acks >= cs.requiredAcks() {
+				cs.advanceRep(p, ck)
+			}
+			break
+		}
+	}
+}
+
+// requiredAcks counts the replicas the cluster manager currently believes
+// alive: a failed NICFS must not block durability acknowledgments (the
+// manager has already reconfigured leases and membership around it).
+func (cs *clientState) requiredAcks() int {
+	cl := cs.n.cl
+	alive := 0
+	for _, mi := range cl.chain(cs.primaryMachine())[1:] {
+		if cl.Mgr.Alive(cl.Machines[mi].Name) {
+			alive++
+		}
+	}
+	return alive
+}
+
+// resweepAcks re-evaluates pending chunks after a membership change.
+func (cs *clientState) resweepAcks(p *sim.Proc) {
+	need := cs.requiredAcks()
+	for _, ck := range cs.pending {
+		if !ck.replicated.Triggered() && ck.sent.Triggered() && ck.acks >= need {
+			cs.advanceRep(p, ck)
+		}
+	}
+}
+
+// failChunk rejects a chunk: the fault is recorded for the client and all
+// waiters are released so nothing wedges behind an unpublishable chunk.
+func (cs *clientState) failChunk(p *sim.Proc, ck *chunk, err error) {
+	ck.valid = false
+	if cs.fault == nil {
+		cs.fault = err
+	}
+	ck.published.Trigger(nil)
+	ck.sent.Trigger(nil)
+	cs.advanceRep(p, ck)
+}
+
+// advanceRep marks a chunk fully replicated and wakes fsync waiters.
+func (cs *clientState) advanceRep(p *sim.Proc, ck *chunk) {
+	ck.replicated.Trigger(nil)
+	if ck.to > cs.repOff {
+		cs.repOff = ck.to
+	}
+	kept := cs.repWait[:0]
+	for _, w := range cs.repWait {
+		if cs.repOff >= w.off {
+			w.ev.Trigger(nil)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	cs.repWait = kept
+}
+
+// waitReplicated blocks until everything before off is on all replicas.
+func (cs *clientState) waitReplicated(p *sim.Proc, off uint64) {
+	if cs.repOff >= off {
+		return
+	}
+	ev := sim.NewEvent(cs.n.cl.Env)
+	cs.repWait = append(cs.repWait, repWaiter{off: off, ev: ev})
+	p.Wait(ev)
+}
+
+func (cs *clientState) primaryMachine() int { return cs.n.machine }
+
+// runCompletion reclaims client log space once chunks are both published
+// and replicated, in order, and returns chunk buffers to SmartNIC memory.
+func (cs *clientState) runCompletion(p *sim.Proc) {
+	for {
+		for len(cs.pending) == 0 {
+			p.Wait(cs.compKick)
+		}
+		ck := cs.pending[0]
+		t0 := p.Now()
+		p.Wait(ck.published)
+		t1 := p.Now()
+		p.Wait(ck.replicated)
+		cs.n.stageAdd("wait-pub", time.Duration(t1-t0))
+		cs.n.stageAdd("wait-rep", time.Duration(p.Now()-t1))
+		cs.pending = cs.pending[1:]
+		if ck.memHeld > 0 {
+			cs.n.memRelease(ck.memHeld)
+			ck.memHeld = 0
+		}
+		ck.raw = nil
+		ck.payload = nil
+		if ck.valid && ck.to > cs.ackSent {
+			cs.ackSent = ck.to
+			// The SmartNIC-to-host acknowledgment is Figure 2's ACK stage.
+			ackStart := p.Now()
+			cs.notifyClient(p, "reclaim", &reclaimMsg{Slot: cs.slot, UpTo: ck.to}, 24)
+			cs.n.StageTimes["ack"].add(time.Duration(p.Now() - ackStart))
+		}
+	}
+}
+
+// runSequential is the LineFS-NotParallel datapath: one SmartNIC thread
+// executes fetch, validation, publication and replication for each chunk
+// back to back, with no overlap.
+func (cs *clientState) runSequential(p *sim.Proc) {
+	for {
+		ck, ok := cs.seqQ.Get(p)
+		if !ok {
+			return
+		}
+		cs.stageFetch(p, ck)
+		if cs.stageValidate(p, ck) {
+			if cs.n.cl.Cfg.Compress {
+				cs.stageCompress(p, ck)
+			}
+			cs.stagePublish(p, ck)
+			cs.transferChunk(p, ck)
+			cs.waitReplicated(p, ck.to)
+		}
+	}
+}
+
+// handleFsync implements fsync(): replicate everything through Head
+// synchronously on the low-latency class, wait for lease persistence, and
+// acknowledge (§3.3.2, §3.4).
+func (n *NICFS) handleFsync(p *sim.Proc, msg *rdma.Msg, req *fsyncReq) {
+	cs := n.clients[req.Slot]
+	if cs == nil {
+		msg.RespondErr(p, fmt.Errorf("nicfs: fsync for unknown slot %d", req.Slot))
+		return
+	}
+	if req.Head > cs.queued {
+		cs.formChunks(p, req.Head, true)
+		// The sync path runs fetch and validation inline and transfers on
+		// the low-latency connection, bypassing pipeline queues.
+		for _, ck := range cs.pending {
+			if !ck.sync || ck.started {
+				continue
+			}
+			ck.started = true
+			cs.stageFetch(p, ck)
+			if cs.stageValidate(p, ck) {
+				if n.cl.Cfg.Compress {
+					cs.stageCompress(p, ck)
+				}
+				cs.stagePublish(p, ck)
+				cs.transferChunk(p, ck)
+			}
+		}
+	}
+	cs.waitReplicated(p, req.Head)
+	if cs.fault != nil {
+		msg.RespondErr(p, cs.fault)
+		return
+	}
+	// Leases granted before this fsync must be durable and replicated.
+	if n.leasePending > 0 {
+		p.Wait(n.leaseDrained)
+	}
+	msg.Respond(p, true, 8)
+}
+
+// validateCost scales the per-MiB validation cost to a byte count.
+func validateCost(n int, perMiB time.Duration) time.Duration {
+	return time.Duration(int64(n) * int64(perMiB) / (1 << 20))
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"linefs/internal/fs"
+	"linefs/internal/lease"
+)
+
+// Wire message payloads between LibFS, NICFS instances, and kernel workers.
+// Payload []byte fields carry real data; the Size passed to the RDMA layer
+// charges their wire cost.
+
+type attachReq struct {
+	Client string
+	Slot   int
+}
+
+type attachResp struct {
+	InoBase  fs.Ino
+	InoCount int
+	LogBase  int64
+	LogSize  int64
+}
+
+type openReq struct {
+	Client string
+	Path   string
+}
+
+type openResp struct {
+	Ino  fs.Ino
+	Size uint64
+	Type fs.FileType
+}
+
+type leaseReq struct {
+	Client string
+	Ino    fs.Ino
+	Mode   lease.Mode
+}
+
+type leaseResp struct {
+	OK        bool
+	Conflicts []string
+}
+
+// chunkReady tells NICFS the client log has grown to Head (async).
+type chunkReady struct {
+	Slot int
+	Head uint64
+}
+
+// fsyncReq asks NICFS to make everything up to Head durable on all
+// replicas (synchronous).
+type fsyncReq struct {
+	Slot int
+	Head uint64
+}
+
+// touched records a namespace-visible update for the epoch history bitmap.
+type touched struct {
+	Ino  fs.Ino
+	PIno fs.Ino
+	Name string
+	Type fs.FileType
+	Gone bool // unlinked
+}
+
+// replChunk carries one pipeline chunk down the replication chain.
+type replChunk struct {
+	Slot     int
+	From, To uint64 // log logical offsets covered
+	FirstSeq uint64
+	// Payload is the raw log bytes, possibly LZW-compressed.
+	Payload    []byte
+	Compressed bool
+	RawLen     int
+	Touched    []touched
+	Epoch      uint64
+	// Sync marks fsync-path chunks (low-latency class).
+	Sync bool
+}
+
+// replDirect notifies the last replica that chunk bytes were already
+// RDMA-written into its host PM log slot (the §3.3.2 step-6 optimization).
+type replDirect struct {
+	Slot     int
+	From, To uint64
+	FirstSeq uint64
+	RawLen   int
+	Touched  []touched
+	Epoch    uint64
+}
+
+// replAck reports that node Node persisted the chunk ending at To.
+type replAck struct {
+	Slot int
+	To   uint64
+	Node string
+}
+
+// reclaimMsg tells LibFS its log can be truncated up to UpTo.
+type reclaimMsg struct {
+	Slot int
+	UpTo uint64
+}
+
+// revokeMsg asks LibFS to drop a cached lease.
+type revokeMsg struct {
+	Ino fs.Ino
+}
+
+// copyItem is one publication copy: place Data at PM offset Dst.
+type copyItem struct {
+	Dst  int64
+	Data []byte
+}
+
+// copyReq is a kernel-worker publication batch.
+type copyReq struct {
+	Items []copyItem
+}
+
+// leaseRecord replicates a lease grant/release for crash consistency.
+type leaseRecord struct {
+	Rec      lease.Record
+	Released bool
+}
+
+// historyReq asks a peer for namespace history since an epoch (recovery).
+type historyReq struct {
+	Since uint64
+}
+
+type historyResp struct {
+	Epoch   uint64
+	Touched []touched
+}
+
+// fetchFileReq pulls a published file's content from a peer (recovery).
+type fetchFileReq struct {
+	Ino fs.Ino
+}
+
+type fetchFileResp struct {
+	Exists bool
+	Type   fs.FileType
+	Size   uint64
+	Data   []byte
+}

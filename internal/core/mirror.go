@@ -1,0 +1,330 @@
+package core
+
+import (
+	"time"
+
+	"linefs/internal/compress"
+	"linefs/internal/fs"
+	"linefs/internal/hw"
+	"linefs/internal/rdma"
+	"linefs/internal/sim"
+)
+
+// mirrorState is the replica-side NICFS state for one remote client's log:
+// a local PM log mirror that the chain keeps byte-identical with the
+// primary's, plus local publication so the replica's public area stays
+// current and the mirror can be reclaimed (§3.3.2, Figure 3).
+type mirrorState struct {
+	n    *NICFS
+	slot int
+	log  *fs.LogArea
+
+	// chainPos is this node's index in the slot's chain (1 = first
+	// replica).
+	chainPos int
+	chain    []int
+
+	q    *sim.Queue[*rdma.Msg]
+	proc *sim.Proc
+
+	// pubQ decouples local publication from the chain critical path.
+	pubQ    *sim.Queue[pubJob]
+	pubProc *sim.Proc
+	pubNext uint64
+
+	// fresh marks a mirror created mid-stream (NICFS recovery): it adopts
+	// the first arriving chunk's offset instead of expecting offset zero.
+	fresh bool
+}
+
+type pubJob struct {
+	raw      []byte
+	from, to uint64
+}
+
+// routeMirror dispatches replication traffic to the slot's mirror process,
+// creating it on first contact.
+func (n *NICFS) routeMirror(p *sim.Proc, msg *rdma.Msg) {
+	var slot int
+	switch arg := msg.Arg.(type) {
+	case *replChunk:
+		slot = arg.Slot
+	case *replDirect:
+		slot = arg.Slot
+	default:
+		return
+	}
+	ms := n.mirrors[slot]
+	if ms == nil {
+		ms = n.newMirror(slot)
+	}
+	ms.q.Put(p, msg)
+}
+
+func (n *NICFS) newMirror(slot int) *mirrorState {
+	cl := n.cl
+	// The chain is defined by the slot's primary; find our position. The
+	// primary machine for a slot is recorded by the client that attached;
+	// replicas derive it from chain geometry: the primary is the machine
+	// whose chain contains us. Chains are (primary, primary+1, …) mod N,
+	// so walk candidates.
+	var chain []int
+	pos := 0
+	for cand := 0; cand < cl.Cfg.Nodes; cand++ {
+		ch := cl.chain(cand)
+		for i, mi := range ch {
+			if mi == n.machine && i > 0 && cl.clients[slot] != nil && cl.clients[slot].machine == cand {
+				chain = ch
+				pos = i
+			}
+		}
+	}
+	if chain == nil {
+		// Fall back: assume the immediate predecessor is the primary.
+		chain = cl.chain((n.machine - 1 + cl.Cfg.Nodes) % cl.Cfg.Nodes)
+		pos = 1
+	}
+	ms := &mirrorState{
+		n:        n,
+		slot:     slot,
+		log:      fs.NewLogArea(cl.Machines[n.machine].PM, cl.logBase(slot), cl.Cfg.LogSize),
+		chainPos: pos,
+		chain:    chain,
+		q:        sim.NewQueue[*rdma.Msg](cl.Env, 0),
+		pubQ:     sim.NewQueue[pubJob](cl.Env, 0),
+		fresh:    true,
+	}
+	ms.proc = cl.Env.Go(n.Name()+"/mirror", ms.run)
+	ms.pubProc = cl.Env.Go(n.Name()+"/mirror-pub", ms.runPublisher)
+	n.mirrors[slot] = ms
+	return ms
+}
+
+func (ms *mirrorState) kill() {
+	ms.q.Close()
+	ms.pubQ.Close()
+	if ms.proc != nil {
+		ms.proc.Kill()
+	}
+	if ms.pubProc != nil {
+		ms.pubProc.Kill()
+	}
+}
+
+// runPublisher applies replicated chunks to the replica's public area in
+// the background (Figure 3 keeps publication off the chain critical path).
+func (ms *mirrorState) runPublisher(p *sim.Proc) {
+	for {
+		job, ok := ms.pubQ.Get(p)
+		if !ok {
+			return
+		}
+		ms.publishLocal(p, job.raw, job.from, job.to)
+	}
+}
+
+// run processes the mirror's replication traffic in log order. The primary
+// serializes transfers per client, but sync-path chunks ride the
+// low-latency connection class and can overtake bulk-class chunks between
+// the two service queues — so arrivals are reordered by log offset before
+// processing.
+func (ms *mirrorState) run(p *sim.Proc) {
+	pending := make(map[uint64]*rdma.Msg)
+	for {
+		msg, ok := ms.q.Get(p)
+		if !ok {
+			return
+		}
+		var from uint64
+		switch arg := msg.Arg.(type) {
+		case *replChunk:
+			from = arg.From
+		case *replDirect:
+			from = arg.From
+		default:
+			continue
+		}
+		pending[from] = msg
+		if ms.fresh {
+			// A recovered replica's mirror starts at the stream's current
+			// position: earlier log content was invalidated and the state
+			// it carried was recovered from a peer (§3.6).
+			if from > ms.log.Head() {
+				ctx := ms.n.cl.nicCtx(p, ms.n.machine, "nicfs")
+				ms.log.ResetTo(ctx, from)
+				ms.pubNext = from
+			}
+			ms.fresh = false
+		}
+		for {
+			next, ok := pending[ms.log.Head()]
+			if !ok {
+				break
+			}
+			delete(pending, ms.log.Head())
+			switch arg := next.Arg.(type) {
+			case *replChunk:
+				ms.handleChunk(p, arg)
+			case *replDirect:
+				ms.handleDirect(p, arg)
+			}
+		}
+	}
+}
+
+// handleChunk is steps 4–7 of Figure 3: forward to the next hop (in
+// parallel with the local copy), persist the chunk into the local PM log
+// mirror, acknowledge the primary, and publish locally.
+func (ms *mirrorState) handleChunk(p *sim.Proc, rc *replChunk) {
+	n := ms.n
+	cl := n.cl
+
+	raw := rc.Payload
+	if rc.Compressed {
+		// Decompression on the wimpy cores (reads are cheaper than the
+		// compression side; charge at 2x the compression bandwidth).
+		var err error
+		raw, err = compress.Decompress(rc.Payload)
+		if err != nil {
+			return // corrupt transfer: never acknowledged
+		}
+		n.nicCompute(p, time.Duration(float64(rc.RawLen)/(2*cl.Cfg.Spec.CompressBW)*float64(time.Second)))
+	}
+	if len(raw) != rc.RawLen {
+		return
+	}
+
+	// Merge namespace history for epoch recovery.
+	n.history[rc.Epoch] = append(n.history[rc.Epoch], rc.Touched...)
+
+	// Forward down the chain asynchronously: the next hop's work overlaps
+	// both our local persist and later chunks' forwards (steps 4 and 5 of
+	// Figure 3 pipeline across chunks). Ordering needs no serialization —
+	// one-sided writes are offset-addressed and every mirror reorders
+	// message arrivals by log offset. Compressed chunks stay compressed on
+	// the wire for every hop (the bandwidth saving is the point), which
+	// forgoes the last-hop direct write: raw bytes cannot be placed
+	// one-sided without a decompression stop at the last NICFS.
+	if ms.chainPos != len(ms.chain)-1 {
+		next := ms.chain[ms.chainPos+1]
+		nextIsLast := ms.chainPos+1 == len(ms.chain)-1 && !cl.Cfg.DisableDirectWrite && !rc.Compressed
+		rcCopy := *rc
+		if !rc.Compressed {
+			rcCopy.Payload = raw
+		}
+		cl.Env.Go(n.Name()+"/fwd", func(fp *sim.Proc) {
+			if nextIsLast {
+				ms.forwardDirect(fp, next, &rcCopy)
+			} else {
+				_ = n.peer(next, rc.Sync).Send(fp, "repl-chunk", &rcCopy, len(rcCopy.Payload))
+			}
+		})
+	}
+
+	// Persist the chunk into the local PM log mirror.
+	ms.persistRaw(p, rc.From, raw)
+
+	// Acknowledge the primary: the chunk is durable here. Acks are
+	// latency-critical and ride the low-latency class (§3.3.2).
+	primary := ms.chain[0]
+	_ = n.peer(primary, true).Send(p, "repl-ack",
+		&replAck{Slot: rc.Slot, To: rc.To, Node: n.Name()}, 24)
+
+	// Publish locally in the background so the replica's public area keeps
+	// up and the mirror ring can be reclaimed.
+	ms.pubQ.Put(p, pubJob{raw: raw, from: rc.From, to: rc.To})
+}
+
+// forwardDirect implements the §3.3.2 step-6 optimization: the penultimate
+// replica writes the chunk straight into the last replica's host PM log
+// with a one-sided RDMA WRITE, then sends a small notification — saving a
+// SmartNIC memory copy on the last hop.
+func (ms *mirrorState) forwardDirect(p *sim.Proc, next int, rc *replChunk) {
+	n := ms.n
+	cl := n.cl
+	lastLog := fs.NewLogView(cl.logBase(rc.Slot), cl.Cfg.LogSize)
+	conn := n.peer(next, rc.Sync)
+	off := 0
+	for _, seg := range lastLog.SegmentsAt(rc.From, len(rc.Payload)) {
+		if err := conn.RDMAWrite(p, "pm", seg.PhysOff, rc.Payload[off:off+seg.Len]); err != nil {
+			// Fall back to the message path.
+			_ = conn.Send(p, "repl-chunk", rc, len(rc.Payload))
+			return
+		}
+		off += seg.Len
+	}
+	note := &replDirect{
+		Slot: rc.Slot, From: rc.From, To: rc.To, FirstSeq: rc.FirstSeq,
+		RawLen: rc.RawLen, Touched: rc.Touched, Epoch: rc.Epoch,
+	}
+	// The notification follows the one-sided data on the low-latency
+	// class: it must not queue behind other bulk transfers.
+	_ = n.peer(next, true).Send(p, "repl-direct", note, 64)
+}
+
+// handleDirect is the last replica's handling of a direct-written chunk:
+// the bytes are already in its PM log; advance the mirror head, ack, and
+// publish.
+func (ms *mirrorState) handleDirect(p *sim.Proc, rd *replDirect) {
+	n := ms.n
+	cl := n.cl
+	n.history[rd.Epoch] = append(n.history[rd.Epoch], rd.Touched...)
+	ctx := cl.nicCtx(p, n.machine, "nicfs")
+	size := int(rd.To - rd.From)
+	if err := ms.log.AdvanceHead(ctx, rd.From, size); err != nil {
+		return
+	}
+	primary := ms.chain[0]
+	_ = n.peer(primary, true).Send(p, "repl-ack",
+		&replAck{Slot: rd.Slot, To: rd.To, Node: n.Name()}, 24)
+
+	// Publication needs the entries: fetch them from our own host PM log
+	// across PCIe.
+	m := cl.Machines[n.machine]
+	fctx := &fs.Ctx{P: p, PM: m.PM, ExtraRead: []*hw.Link{m.Fetch}}
+	raw := ms.log.ReadRaw(fctx, rd.From, size)
+	ms.pubQ.Put(p, pubJob{raw: raw, from: rd.From, to: rd.To})
+}
+
+// persistRaw copies chunk bytes from SmartNIC memory into the local host
+// PM log mirror: via the kernel worker's DMA engine normally, or across
+// PCIe directly in isolated mode (the Figure 10 failure path).
+func (ms *mirrorState) persistRaw(p *sim.Proc, at uint64, raw []byte) {
+	n := ms.n
+	segs := ms.log.Segments(at, len(raw))
+	var items []copyItem
+	off := 0
+	for _, seg := range segs {
+		items = append(items, copyItem{Dst: seg.PhysOff, Data: raw[off : off+seg.Len]})
+		off += seg.Len
+	}
+	n.publishItems(p, items)
+	// Advance and persist the mirror header (small PCIe write).
+	ctx := n.cl.nicCtx(p, n.machine, "nicfs")
+	_ = ms.log.AdvanceHead(ctx, at, len(raw))
+}
+
+// publishLocal applies a replicated chunk to this replica's public area
+// and reclaims the mirror ring.
+func (ms *mirrorState) publishLocal(p *sim.Proc, raw []byte, from, to uint64) {
+	n := ms.n
+	if from != ms.pubNext && ms.pubNext != 0 {
+		// Gap (shouldn't happen: arrival order is log order); skip rather
+		// than corrupt.
+		return
+	}
+	entries, err := fs.DecodeAll(raw)
+	if err != nil {
+		return
+	}
+	n.nicCompute(p, validateCost(len(raw), n.cl.Cfg.Spec.ValidatePerMiB))
+	ctx := n.cl.nicCtx(p, n.machine, "nicfs")
+	var items []copyItem
+	cp := func(dst int64, src []byte) { items = append(items, copyItem{Dst: dst, Data: src}) }
+	if err := n.vol.ApplyAll(ctx, entries, cp); err == nil {
+		n.publishItems(p, items)
+		n.PubBytes += int64(len(raw))
+	}
+	ms.pubNext = to
+	ms.log.Reclaim(ctx, to)
+}

@@ -1,0 +1,263 @@
+package dfs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"linefs/internal/fs"
+	"linefs/internal/hw"
+	"linefs/internal/lease"
+	"linefs/internal/sim"
+)
+
+// fakeBackend grants everything and publishes synchronously on Fsync by
+// applying the log to the volume directly — the minimal backend that keeps
+// the client's contract.
+type fakeBackend struct {
+	env *sim.Env
+	pm  *hw.PM
+	vol *fs.Vol
+	log *fs.LogArea
+
+	client *Client
+
+	published uint64
+	fsyncs    int
+	chunks    int
+	leaseReqs int
+}
+
+func (b *fakeBackend) AcquireLease(p *sim.Proc, ino fs.Ino, mode lease.Mode) (bool, error) {
+	b.leaseReqs++
+	return true, nil
+}
+
+func (b *fakeBackend) OpenCheck(p *sim.Proc, pth string) error { return nil }
+
+func (b *fakeBackend) ChunkReady(p *sim.Proc, head uint64) { b.chunks++ }
+
+func (b *fakeBackend) Fsync(p *sim.Proc, head uint64) error {
+	b.fsyncs++
+	ctx := fs.NoCostCtx(b.pm)
+	ents, err := b.log.DecodeRange(ctx, b.published, head)
+	if err != nil {
+		return err
+	}
+	if err := b.vol.ApplyAll(ctx, ents, nil); err != nil {
+		return err
+	}
+	b.published = head
+	b.client.OnReclaim(p, head)
+	return nil
+}
+
+func newFake(t *testing.T) (*sim.Env, *fakeBackend, *Client) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	pm := hw.NewPM(env, "pm", hw.DefaultPMConfig(256<<20))
+	vol, err := fs.Format(env, pm, 0, 128<<20, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la := fs.NewLogArea(pm, 128<<20, 16<<20)
+	b := &fakeBackend{env: env, pm: pm, vol: vol, log: la}
+	c := NewClient(env, b, Config{
+		ID:  "test",
+		Log: la,
+		Vol: vol,
+		HostCtx: func(p *sim.Proc) *fs.Ctx {
+			return &fs.Ctx{P: p, PM: pm}
+		},
+		InoBase:   16,
+		InoMax:    1024,
+		ChunkSize: 1 << 20,
+		LeaseTTL:  time.Second,
+	})
+	b.client = c
+	return env, b, c
+}
+
+func run(t *testing.T, env *sim.Env, fn func(p *sim.Proc)) {
+	t.Helper()
+	done := false
+	env.Go("t", func(p *sim.Proc) {
+		fn(p)
+		done = true
+	})
+	env.RunUntil(time.Minute)
+	if !done {
+		t.Fatal("test body did not finish")
+	}
+}
+
+func TestDirtyOverlayVisibility(t *testing.T) {
+	env, _, c := newFake(t)
+	run(t, env, func(p *sim.Proc) {
+		fd, err := c.Create(p, "/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Visible through the overlay before any publication.
+		typ, size, err := c.Stat(p, "/x")
+		if err != nil || typ != fs.TypeFile || size != 0 {
+			t.Fatalf("stat = %v %d %v", typ, size, err)
+		}
+		c.WriteAt(p, fd, 0, []byte("abc"))
+		if _, size, _ = c.Stat(p, "/x"); size != 3 {
+			t.Fatalf("dirty size = %d", size)
+		}
+	})
+}
+
+func TestOverlayPrunedAfterReclaim(t *testing.T) {
+	env, b, c := newFake(t)
+	run(t, env, func(p *sim.Proc) {
+		fd, _ := c.Create(p, "/x")
+		c.WriteAt(p, fd, 0, bytes.Repeat([]byte{7}, 10000))
+		if err := c.Fsync(p, fd); err != nil {
+			t.Fatal(err)
+		}
+		// Backend published and reclaimed: overlay must be gone but state
+		// visible via the volume.
+		if len(c.blockIdx) != 0 {
+			t.Fatalf("blockIdx has %d entries after reclaim", len(c.blockIdx))
+		}
+		if len(c.dirty.inodes) != 0 || len(c.dirty.dirs) != 0 {
+			t.Fatal("dirty namespace survives reclaim")
+		}
+		typ, size, err := c.Stat(p, "/x")
+		if err != nil || typ != fs.TypeFile || size != 10000 {
+			t.Fatalf("published stat = %v %d %v", typ, size, err)
+		}
+		got := make([]byte, 10000)
+		n, err := c.ReadAt(p, fd, 0, got)
+		if err != nil || n != 10000 || got[0] != 7 {
+			t.Fatalf("published read n=%d err=%v", n, err)
+		}
+		_ = b
+	})
+}
+
+func TestReadMergesLogOverPublished(t *testing.T) {
+	env, _, c := newFake(t)
+	run(t, env, func(p *sim.Proc) {
+		fd, _ := c.Create(p, "/m")
+		base := bytes.Repeat([]byte{1}, 8192)
+		c.WriteAt(p, fd, 0, base)
+		c.Fsync(p, fd) // published
+		// Unpublished overwrite of a sub-range.
+		c.WriteAt(p, fd, 100, []byte{9, 9, 9})
+		got := make([]byte, 8192)
+		c.ReadAt(p, fd, 0, got)
+		if got[99] != 1 || got[100] != 9 || got[102] != 9 || got[103] != 1 {
+			t.Fatalf("merge wrong around 100: %v", got[98:105])
+		}
+	})
+}
+
+func TestChunkReadyPacing(t *testing.T) {
+	env, b, c := newFake(t)
+	run(t, env, func(p *sim.Proc) {
+		fd, _ := c.Create(p, "/pace")
+		buf := make([]byte, 256<<10)
+		for off := 0; off < 4<<20; off += len(buf) {
+			c.WriteAt(p, fd, uint64(off), buf)
+		}
+		// 4 MB written with a 1 MB chunk size: ~4 notifications.
+		if b.chunks < 3 || b.chunks > 6 {
+			t.Fatalf("chunk-ready notifications = %d, want ~4", b.chunks)
+		}
+	})
+}
+
+func TestLeaseCaching(t *testing.T) {
+	env, b, c := newFake(t)
+	run(t, env, func(p *sim.Proc) {
+		fd, _ := c.Create(p, "/l")
+		before := b.leaseReqs
+		for i := 0; i < 100; i++ {
+			c.WriteAt(p, fd, uint64(i*100), []byte("data"))
+		}
+		if b.leaseReqs != before {
+			t.Fatalf("%d extra lease RPCs despite cache", b.leaseReqs-before)
+		}
+		// Revocation clears the cache: the next write re-acquires.
+		c.OnRevoke(16)
+		c.WriteAt(p, fd, 0, []byte("again"))
+		if b.leaseReqs != before+1 {
+			t.Fatalf("lease not re-acquired after revoke (reqs=%d)", b.leaseReqs-before)
+		}
+	})
+}
+
+func TestCleanPath(t *testing.T) {
+	cases := map[string][]string{
+		"/":        nil,
+		"":         nil,
+		"/a/b/c":   {"a", "b", "c"},
+		"a//b":     {"a", "b"},
+		"/a/./b/":  {"a", "b"},
+		"///x":     {"x"},
+		"/dir/f.x": {"dir", "f.x"},
+	}
+	for in, want := range cases {
+		got := cleanPath(in)
+		if len(got) != len(want) {
+			t.Fatalf("cleanPath(%q) = %v, want %v", in, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("cleanPath(%q) = %v, want %v", in, got, want)
+			}
+		}
+	}
+}
+
+func TestSplitDir(t *testing.T) {
+	cases := [][3]string{
+		{"/a/b", "/a/", "b"},
+		{"/x", "/", "x"},
+		{"name", "/", "name"},
+	}
+	for _, tc := range cases {
+		dir, name := splitDir(tc[0])
+		if dir != tc[1] || name != tc[2] {
+			t.Fatalf("splitDir(%q) = %q,%q want %q,%q", tc[0], dir, name, tc[1], tc[2])
+		}
+	}
+}
+
+func TestWriteToReadOnlyFD(t *testing.T) {
+	env, _, c := newFake(t)
+	run(t, env, func(p *sim.Proc) {
+		fd, _ := c.Create(p, "/ro")
+		c.WriteAt(p, fd, 0, []byte("x"))
+		c.Fsync(p, fd)
+		rfd, err := c.Open(p, "/ro", false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.WriteAt(p, rfd, 0, []byte("y")); err == nil {
+			t.Fatal("write through read-only descriptor succeeded")
+		}
+	})
+}
+
+func TestBadFDErrors(t *testing.T) {
+	env, _, c := newFake(t)
+	run(t, env, func(p *sim.Proc) {
+		if _, err := c.WriteAt(p, 999, 0, []byte("x")); err != ErrBadFD {
+			t.Fatalf("write err = %v", err)
+		}
+		if _, err := c.ReadAt(p, 999, 0, make([]byte, 4)); err != ErrBadFD {
+			t.Fatalf("read err = %v", err)
+		}
+		if err := c.Close(p, 999); err != ErrBadFD {
+			t.Fatalf("close err = %v", err)
+		}
+		if err := c.Fsync(p, 999); err != ErrBadFD {
+			t.Fatalf("fsync err = %v", err)
+		}
+	})
+}

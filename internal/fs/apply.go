@@ -1,0 +1,117 @@
+package fs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ApplyEntry publishes one log entry into the public area. Every operation
+// is idempotent so that publication interrupted by a crash can simply be
+// replayed from the log.
+func (v *Vol) ApplyEntry(c *Ctx, e *Entry, cp CopyFunc) error {
+	switch e.Type {
+	case OpWrite:
+		return v.PublishWrite(c, e.Ino, e.Off, e.Data, cp)
+
+	case OpCreate, OpMkdir:
+		typ := TypeFile
+		if e.Type == OpMkdir {
+			typ = TypeDir
+		}
+		v.Lock(c.P, c.Prio)
+		defer v.Unlock(c.P)
+		if err := v.CreateInode(c, e.Ino, typ); err != nil {
+			return err
+		}
+		err := v.DirAdd(c, e.PIno, DirEnt{Ino: e.Ino, Type: typ, Name: e.Name})
+		if errors.Is(err, ErrExist) {
+			// Idempotent republish: accept if the existing entry matches.
+			if cur, lerr := v.DirLookup(c, e.PIno, e.Name); lerr == nil && cur.Ino == e.Ino {
+				return nil
+			}
+			return err
+		}
+		return err
+
+	case OpUnlink, OpRmdir:
+		v.Lock(c.P, c.Prio)
+		defer v.Unlock(c.P)
+		if e.Type == OpRmdir {
+			if empty, err := v.DirEmpty(c, e.Ino); err == nil && !empty {
+				return ErrNotEmpty
+			}
+		}
+		err := v.DirRemove(c, e.PIno, e.Name)
+		if errors.Is(err, ErrNotExist) {
+			err = nil // already removed by a previous replay
+		}
+		if err != nil {
+			return err
+		}
+		in, err := v.ReadInode(c, e.Ino)
+		if errors.Is(err, ErrNoInode) {
+			return nil // already freed
+		}
+		if err != nil {
+			return err
+		}
+		if in.Type == TypeDir || in.Nlink <= 1 {
+			return v.FreeInode(c, e.Ino)
+		}
+		in.Nlink--
+		v.writeInode(c, &in)
+		return nil
+
+	case OpRename:
+		v.Lock(c.P, c.Prio)
+		defer v.Unlock(c.P)
+		src, err := v.DirLookup(c, e.PIno, e.Name)
+		if errors.Is(err, ErrNotExist) {
+			// Possibly already applied: destination must hold the inode.
+			if dst, derr := v.DirLookup(c, e.PIno2, e.Name2); derr == nil && dst.Ino == e.Ino {
+				return nil
+			}
+			return err
+		}
+		if err != nil {
+			return err
+		}
+		// Directory renames must not create namespace cycles (§3.3.1's
+		// validation example): the destination directory may not live
+		// inside the directory being moved.
+		if src.Type == TypeDir && e.PIno2 != e.PIno {
+			if cyc, cerr := v.IsAncestor(c, src.Ino, e.PIno2); cerr == nil && cyc {
+				return fmt.Errorf("fs: rename of %d into its own subtree", src.Ino)
+			}
+		}
+		// Replace an existing destination (rename-over semantics).
+		if old, derr := v.DirLookup(c, e.PIno2, e.Name2); derr == nil {
+			if rerr := v.DirRemove(c, e.PIno2, e.Name2); rerr != nil {
+				return rerr
+			}
+			if old.Type == TypeFile {
+				if ferr := v.FreeInode(c, old.Ino); ferr != nil {
+					return ferr
+				}
+			}
+		}
+		if err := v.DirRemove(c, e.PIno, e.Name); err != nil {
+			return err
+		}
+		return v.DirAdd(c, e.PIno2, DirEnt{Ino: src.Ino, Type: src.Type, Name: e.Name2})
+
+	case OpTruncate:
+		return v.Truncate(c, e.Ino, e.Off)
+	}
+	return fmt.Errorf("fs: apply: unknown entry type %d", e.Type)
+}
+
+// ApplyAll publishes entries in order, stopping at the first error.
+func (v *Vol) ApplyAll(c *Ctx, entries []*Entry, cp CopyFunc) error {
+	for _, e := range entries {
+		if err := v.ApplyEntry(c, e, cp); err != nil {
+			return fmt.Errorf("fs: apply seq %d (%v): %w", e.Seq, e.Type, err)
+		}
+	}
+	return nil
+}

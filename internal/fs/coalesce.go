@@ -1,0 +1,118 @@
+package fs
+
+// Coalesce implements the publishing pipeline's semantic compression stage:
+// it drops log entries whose effects are superseded within the batch,
+// reducing write amplification before data crosses PCIe again.
+//
+// Two patterns are detected, following the paper (§3.3.1):
+//
+//  1. Temporarily durable files — a create whose inode is unlinked later in
+//     the same batch. The create, the unlink, and every intermediate entry
+//     touching that inode are dropped.
+//  2. Overwrites — a write fully shadowed by a later write to the same
+//     inode covering the same byte range.
+//
+// The relative order of surviving entries is preserved, which keeps
+// publication prefix-consistent.
+func Coalesce(entries []*Entry) (kept []*Entry, droppedBytes int64) {
+	if len(entries) == 0 {
+		return entries, 0
+	}
+
+	drop := make([]bool, len(entries))
+
+	// Pattern 1: create+unlink of the same inode within the batch.
+	created := make(map[Ino]int) // ino -> index of create
+	for i, e := range entries {
+		switch e.Type {
+		case OpCreate:
+			created[e.Ino] = i
+		case OpUnlink:
+			ci, ok := created[e.Ino]
+			if !ok {
+				continue
+			}
+			// Drop create..unlink for this inode. Renames of the inode in
+			// between would change its name binding; skip the optimization
+			// if one appears.
+			renamed := false
+			for j := ci; j <= i; j++ {
+				if entries[j].Type == OpRename && entries[j].Ino == e.Ino {
+					renamed = true
+					break
+				}
+			}
+			if renamed {
+				continue
+			}
+			for j := ci; j <= i; j++ {
+				if entries[j].Ino == e.Ino {
+					drop[j] = true
+				}
+			}
+			delete(created, e.Ino)
+		}
+	}
+
+	// Pattern 2: identical-range overwrites — keep only the last.
+	type wkey struct {
+		ino Ino
+		off uint64
+		n   int
+	}
+	lastWrite := make(map[wkey]int)
+	for i, e := range entries {
+		if drop[i] {
+			continue
+		}
+		switch e.Type {
+		case OpWrite:
+			k := wkey{e.Ino, e.Off, len(e.Data)}
+			if prev, ok := lastWrite[k]; ok {
+				drop[prev] = true
+			}
+			lastWrite[k] = i
+		case OpTruncate, OpUnlink, OpRename:
+			// A structural change to the inode invalidates shadow tracking
+			// for it; be conservative.
+			for k := range lastWrite {
+				if k.ino == e.Ino {
+					delete(lastWrite, k)
+				}
+			}
+		}
+	}
+
+	kept = entries[:0:0]
+	for i, e := range entries {
+		if drop[i] {
+			droppedBytes += int64(e.WireSize())
+			continue
+		}
+		kept = append(kept, e)
+	}
+	return kept, droppedBytes
+}
+
+// ValidateSeq checks that entries carry strictly increasing, contiguous
+// sequence numbers starting at first; publication uses it to reject torn or
+// reordered chunks.
+func ValidateSeq(entries []*Entry, first uint64) error {
+	want := first
+	for _, e := range entries {
+		if e.Seq != want {
+			return &SeqError{Want: want, Got: e.Seq}
+		}
+		want++
+	}
+	return nil
+}
+
+// SeqError reports a sequence gap found during validation.
+type SeqError struct {
+	Want, Got uint64
+}
+
+func (e *SeqError) Error() string {
+	return "fs: validation: sequence gap"
+}

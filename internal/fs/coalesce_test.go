@@ -1,0 +1,119 @@
+package fs
+
+import "testing"
+
+func TestCoalesceCreateUnlinkPair(t *testing.T) {
+	entries := []*Entry{
+		{Seq: 0, Type: OpCreate, Ino: 5, PIno: RootIno, Name: "tmp"},
+		{Seq: 1, Type: OpWrite, Ino: 5, Data: make([]byte, 4096)},
+		{Seq: 2, Type: OpWrite, Ino: 6, Data: []byte("keep")},
+		{Seq: 3, Type: OpUnlink, Ino: 5, PIno: RootIno, Name: "tmp"},
+	}
+	kept, dropped := Coalesce(entries)
+	if len(kept) != 1 || kept[0].Ino != 6 {
+		t.Fatalf("kept = %d entries", len(kept))
+	}
+	if dropped == 0 {
+		t.Fatal("dropped bytes not reported")
+	}
+}
+
+func TestCoalesceUnlinkWithoutCreateKept(t *testing.T) {
+	entries := []*Entry{
+		{Seq: 0, Type: OpWrite, Ino: 5, Data: []byte("x")},
+		{Seq: 1, Type: OpUnlink, Ino: 5, PIno: RootIno, Name: "f"},
+	}
+	kept, _ := Coalesce(entries)
+	if len(kept) != 2 {
+		t.Fatalf("kept = %d, want 2 (file created in an earlier batch)", len(kept))
+	}
+}
+
+func TestCoalesceOverwrite(t *testing.T) {
+	entries := []*Entry{
+		{Seq: 0, Type: OpWrite, Ino: 5, Off: 0, Data: make([]byte, 100)},
+		{Seq: 1, Type: OpWrite, Ino: 5, Off: 4096, Data: make([]byte, 100)},
+		{Seq: 2, Type: OpWrite, Ino: 5, Off: 0, Data: make([]byte, 100)},
+	}
+	kept, _ := Coalesce(entries)
+	if len(kept) != 2 {
+		t.Fatalf("kept = %d, want 2", len(kept))
+	}
+	if kept[0].Seq != 1 || kept[1].Seq != 2 {
+		t.Fatalf("kept seqs = %d,%d; must keep the later duplicate", kept[0].Seq, kept[1].Seq)
+	}
+}
+
+func TestCoalesceDifferentRangesKept(t *testing.T) {
+	entries := []*Entry{
+		{Seq: 0, Type: OpWrite, Ino: 5, Off: 0, Data: make([]byte, 200)},
+		{Seq: 1, Type: OpWrite, Ino: 5, Off: 0, Data: make([]byte, 100)}, // shorter: not a full shadow
+	}
+	kept, _ := Coalesce(entries)
+	if len(kept) != 2 {
+		t.Fatalf("kept = %d, want 2", len(kept))
+	}
+}
+
+func TestCoalesceRenameBlocksCreateUnlink(t *testing.T) {
+	entries := []*Entry{
+		{Seq: 0, Type: OpCreate, Ino: 5, PIno: RootIno, Name: "a"},
+		{Seq: 1, Type: OpRename, Ino: 5, PIno: RootIno, Name: "a", PIno2: RootIno, Name2: "b"},
+		{Seq: 2, Type: OpUnlink, Ino: 5, PIno: RootIno, Name: "b"},
+	}
+	kept, _ := Coalesce(entries)
+	if len(kept) != 3 {
+		t.Fatalf("kept = %d, want 3 (rename disables the optimization)", len(kept))
+	}
+}
+
+func TestCoalescePreservesOrder(t *testing.T) {
+	entries := []*Entry{
+		{Seq: 0, Type: OpCreate, Ino: 7, PIno: RootIno, Name: "x"},
+		{Seq: 1, Type: OpWrite, Ino: 7, Off: 0, Data: []byte("1")},
+		{Seq: 2, Type: OpWrite, Ino: 8, Off: 0, Data: []byte("2")},
+		{Seq: 3, Type: OpWrite, Ino: 7, Off: 64, Data: []byte("3")},
+	}
+	kept, _ := Coalesce(entries)
+	for i := 1; i < len(kept); i++ {
+		if kept[i].Seq <= kept[i-1].Seq {
+			t.Fatal("order not preserved")
+		}
+	}
+	if len(kept) != 4 {
+		t.Fatalf("kept = %d", len(kept))
+	}
+}
+
+func TestCoalesceTruncateInvalidatesShadow(t *testing.T) {
+	entries := []*Entry{
+		{Seq: 0, Type: OpWrite, Ino: 5, Off: 0, Data: make([]byte, 100)},
+		{Seq: 1, Type: OpTruncate, Ino: 5, Off: 0},
+		{Seq: 2, Type: OpWrite, Ino: 5, Off: 0, Data: make([]byte, 100)},
+	}
+	kept, _ := Coalesce(entries)
+	if len(kept) != 3 {
+		t.Fatalf("kept = %d, want 3 (truncate between writes)", len(kept))
+	}
+}
+
+func TestValidateSeq(t *testing.T) {
+	entries := []*Entry{{Seq: 5}, {Seq: 6}, {Seq: 7}}
+	if err := ValidateSeq(entries, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSeq(entries, 4); err == nil {
+		t.Fatal("wrong start accepted")
+	}
+	entries[1].Seq = 9
+	if err := ValidateSeq(entries, 5); err == nil {
+		t.Fatal("gap accepted")
+	}
+}
+
+func TestCoalesceEmpty(t *testing.T) {
+	kept, dropped := Coalesce(nil)
+	if len(kept) != 0 || dropped != 0 {
+		t.Fatal("empty input mishandled")
+	}
+}

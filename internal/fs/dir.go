@@ -1,0 +1,211 @@
+package fs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Directory entries are fixed-size records stored in the directory file's
+// data blocks. Lookups are served from the write-through DRAM cache (§4);
+// mutations update the PM slot first, then the cache.
+const (
+	DirEntSize = 64
+	MaxName    = DirEntSize - 6
+	dirPerBlk  = BlockSize / DirEntSize
+	dirScanOp  = 80 * time.Nanosecond
+)
+
+// DirEnt is one directory record.
+type DirEnt struct {
+	Ino  Ino
+	Type FileType
+	Name string
+}
+
+func encodeDirEnt(e DirEnt) []byte {
+	b := make([]byte, DirEntSize)
+	binary.LittleEndian.PutUint32(b[0:], uint32(e.Ino))
+	b[4] = byte(e.Type)
+	b[5] = byte(len(e.Name))
+	copy(b[6:], e.Name)
+	return b
+}
+
+func decodeDirEnt(b []byte) DirEnt {
+	n := int(b[5])
+	if n > MaxName {
+		n = MaxName
+	}
+	return DirEnt{
+		Ino:  Ino(binary.LittleEndian.Uint32(b[0:])),
+		Type: FileType(b[4]),
+		Name: string(b[6 : 6+n]),
+	}
+}
+
+// Directory errors.
+var (
+	ErrExist    = fmt.Errorf("fs: entry exists")
+	ErrNotExist = fmt.Errorf("fs: no such entry")
+	ErrNotDir   = fmt.Errorf("fs: not a directory")
+	ErrNotEmpty = fmt.Errorf("fs: directory not empty")
+	ErrNameLen  = fmt.Errorf("fs: name too long")
+)
+
+// DirLookup finds name in directory dir.
+func (v *Vol) DirLookup(c *Ctx, dir Ino, name string) (DirEnt, error) {
+	din, err := v.ReadInode(c, dir)
+	if err != nil {
+		return DirEnt{}, err
+	}
+	if din.Type != TypeDir {
+		return DirEnt{}, ErrNotDir
+	}
+	dc := v.loadDir(c, &din)
+	c.Compute(dirScanOp)
+	if dl, ok := dc.ents[name]; ok {
+		return dl.ent, nil
+	}
+	return DirEnt{}, ErrNotExist
+}
+
+// DirAdd inserts an entry, reusing a free slot or extending the directory.
+// The caller must hold the volume lock for multi-entry atomicity.
+func (v *Vol) DirAdd(c *Ctx, dir Ino, e DirEnt) error {
+	if len(e.Name) > MaxName {
+		return ErrNameLen
+	}
+	din, err := v.ReadInode(c, dir)
+	if err != nil {
+		return err
+	}
+	if din.Type != TypeDir {
+		return ErrNotDir
+	}
+	dc := v.loadDir(c, &din)
+	c.Compute(dirScanOp)
+	if _, ok := dc.ents[e.Name]; ok {
+		return ErrExist
+	}
+	if len(dc.free) == 0 {
+		// Extend the directory by one block of fresh slots.
+		nBlks := (din.Size + BlockSize - 1) / BlockSize
+		blk, _, err := v.AllocRange(c, 1)
+		if err != nil {
+			return err
+		}
+		c.Write(v.blockOff(blk), make([]byte, BlockSize))
+		if err := v.ExtentAppend(c, &din, Extent{FileBlk: nBlks, BlkNo: blk, Count: 1}); err != nil {
+			v.freeRange(c, blk, 1)
+			return err
+		}
+		din.Size = (nBlks + 1) * BlockSize
+		v.writeInode(c, &din)
+		for s := 0; s < dirPerBlk; s++ {
+			dc.free = append(dc.free, slotLoc{blk: blk, slot: s})
+		}
+	}
+	loc := dc.free[len(dc.free)-1]
+	dc.free = dc.free[:len(dc.free)-1]
+	c.Write(v.blockOff(loc.blk)+int64(loc.slot*DirEntSize), encodeDirEnt(e))
+	dc.ents[e.Name] = dirLoc{ent: e, loc: loc}
+	return nil
+}
+
+// DirRemove deletes an entry by name.
+func (v *Vol) DirRemove(c *Ctx, dir Ino, name string) error {
+	din, err := v.ReadInode(c, dir)
+	if err != nil {
+		return err
+	}
+	if din.Type != TypeDir {
+		return ErrNotDir
+	}
+	dc := v.loadDir(c, &din)
+	c.Compute(dirScanOp)
+	dl, ok := dc.ents[name]
+	if !ok {
+		return ErrNotExist
+	}
+	c.Write(v.blockOff(dl.loc.blk)+int64(dl.loc.slot*DirEntSize), make([]byte, DirEntSize))
+	delete(dc.ents, name)
+	dc.free = append(dc.free, dl.loc)
+	return nil
+}
+
+// DirList returns all live entries.
+func (v *Vol) DirList(c *Ctx, dir Ino) ([]DirEnt, error) {
+	din, err := v.ReadInode(c, dir)
+	if err != nil {
+		return nil, err
+	}
+	if din.Type != TypeDir {
+		return nil, ErrNotDir
+	}
+	dc := v.loadDir(c, &din)
+	c.Compute(dirScanOp * time.Duration(1+len(dc.ents)/dirPerBlk))
+	out := make([]DirEnt, 0, len(dc.ents))
+	for _, dl := range dc.ents {
+		out = append(out, dl.ent)
+	}
+	return out, nil
+}
+
+// DirEmpty reports whether the directory has no live entries.
+func (v *Vol) DirEmpty(c *Ctx, dir Ino) (bool, error) {
+	din, err := v.ReadInode(c, dir)
+	if err != nil {
+		return false, err
+	}
+	if din.Type != TypeDir {
+		return false, ErrNotDir
+	}
+	dc := v.loadDir(c, &din)
+	return len(dc.ents) == 0, nil
+}
+
+// Resolve walks an absolute slash-separated path to its inode.
+func (v *Vol) Resolve(c *Ctx, path string) (Ino, error) {
+	cur := RootIno
+	for _, part := range strings.Split(path, "/") {
+		if part == "" || part == "." {
+			continue
+		}
+		e, err := v.DirLookup(c, cur, part)
+		if err != nil {
+			return 0, err
+		}
+		cur = e.Ino
+	}
+	return cur, nil
+}
+
+// IsAncestor reports whether anc is an ancestor directory of (or equal to)
+// ino, by walking down from anc. Used by validation to prevent rename
+// cycles in the namespace.
+func (v *Vol) IsAncestor(c *Ctx, anc, ino Ino) (bool, error) {
+	if anc == ino {
+		return true, nil
+	}
+	ents, err := v.DirList(c, anc)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range ents {
+		if e.Ino == ino {
+			return true, nil
+		}
+		if e.Type == TypeDir {
+			ok, err := v.IsAncestor(c, e.Ino, ino)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,257 @@
+package fs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func writeRead(t *testing.T, v *Vol, c *Ctx, ino Ino, off uint64, data []byte) {
+	t.Helper()
+	if err := v.PublishWrite(c, ino, off, data, nil); err != nil {
+		t.Fatalf("publish write: %v", err)
+	}
+	got := make([]byte, len(data))
+	n, err := v.ReadFile(c, ino, off, got)
+	if err != nil || n != len(data) {
+		t.Fatalf("read = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("data mismatch at off %d len %d", off, len(data))
+	}
+}
+
+func TestPublishWriteAndRead(t *testing.T) {
+	_, v, c := newTestVol(t)
+	v.CreateInode(c, 9, TypeFile)
+	writeRead(t, v, c, 9, 0, []byte("hello world"))
+	in, _ := v.ReadInode(c, 9)
+	if in.Size != 11 {
+		t.Fatalf("size = %d", in.Size)
+	}
+}
+
+func TestPublishWriteUnaligned(t *testing.T) {
+	_, v, c := newTestVol(t)
+	v.CreateInode(c, 9, TypeFile)
+	// Cross a block boundary with an unaligned offset.
+	data := bytes.Repeat([]byte("xyz"), 3000)
+	writeRead(t, v, c, 9, BlockSize-100, data)
+}
+
+func TestPublishWriteOverwriteInPlace(t *testing.T) {
+	_, v, c := newTestVol(t)
+	v.CreateInode(c, 9, TypeFile)
+	writeRead(t, v, c, 9, 0, bytes.Repeat([]byte{1}, 3*BlockSize))
+	free := v.FreeCount()
+	writeRead(t, v, c, 9, BlockSize, bytes.Repeat([]byte{2}, BlockSize))
+	if v.FreeCount() != free {
+		t.Fatal("overwrite allocated new blocks")
+	}
+	buf := make([]byte, 3*BlockSize)
+	v.ReadFile(c, 9, 0, buf)
+	if buf[0] != 1 || buf[BlockSize] != 2 || buf[2*BlockSize] != 1 {
+		t.Fatalf("overwrite result: %d %d %d", buf[0], buf[BlockSize], buf[2*BlockSize])
+	}
+}
+
+func TestPublishWriteSparseHoleReadsZero(t *testing.T) {
+	_, v, c := newTestVol(t)
+	v.CreateInode(c, 9, TypeFile)
+	writeRead(t, v, c, 9, 10*BlockSize, []byte("tail"))
+	buf := make([]byte, 100)
+	n, err := v.ReadFile(c, 9, 0, buf)
+	if err != nil || n != 100 {
+		t.Fatalf("hole read = %d, %v", n, err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("hole not zero")
+		}
+	}
+}
+
+func TestReadPastEOF(t *testing.T) {
+	_, v, c := newTestVol(t)
+	v.CreateInode(c, 9, TypeFile)
+	writeRead(t, v, c, 9, 0, []byte("short"))
+	buf := make([]byte, 100)
+	n, _ := v.ReadFile(c, 9, 0, buf)
+	if n != 5 {
+		t.Fatalf("read past EOF = %d, want 5", n)
+	}
+	n, _ = v.ReadFile(c, 9, 1000, buf)
+	if n != 0 {
+		t.Fatalf("read at EOF = %d, want 0", n)
+	}
+}
+
+func TestTruncateToZeroFreesBlocks(t *testing.T) {
+	_, v, c := newTestVol(t)
+	v.CreateInode(c, 9, TypeFile)
+	free0 := v.FreeCount()
+	writeRead(t, v, c, 9, 0, bytes.Repeat([]byte{7}, 64*BlockSize))
+	if err := v.Truncate(c, 9, 0); err != nil {
+		t.Fatal(err)
+	}
+	if v.FreeCount() != free0 {
+		t.Fatalf("free = %d, want %d after truncate", v.FreeCount(), free0)
+	}
+	in, _ := v.ReadInode(c, 9)
+	if in.Size != 0 || in.ExtHead != 0 {
+		t.Fatalf("inode after truncate: %+v", in)
+	}
+}
+
+func TestRandomWritesMatchModel(t *testing.T) {
+	_, v, c := newTestVol(t)
+	v.CreateInode(c, 9, TypeFile)
+	rng := rand.New(rand.NewSource(99))
+	const fileSize = 64 * BlockSize
+	model := make([]byte, fileSize)
+	for i := 0; i < 100; i++ {
+		off := rng.Intn(fileSize - 8192)
+		n := 1 + rng.Intn(8192)
+		data := make([]byte, n)
+		rng.Read(data)
+		copy(model[off:], data)
+		if err := v.PublishWrite(c, 9, uint64(off), data, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in, _ := v.ReadInode(c, 9)
+	got := make([]byte, in.Size)
+	v.ReadFile(c, 9, 0, got)
+	if !bytes.Equal(got, model[:in.Size]) {
+		t.Fatal("file content diverged from model after random writes")
+	}
+}
+
+func TestFreeInodeReleasesEverything(t *testing.T) {
+	_, v, c := newTestVol(t)
+	free0 := v.FreeCount()
+	v.CreateInode(c, 9, TypeFile)
+	writeRead(t, v, c, 9, 0, bytes.Repeat([]byte{7}, 32*BlockSize))
+	if err := v.FreeInode(c, 9); err != nil {
+		t.Fatal(err)
+	}
+	if v.FreeCount() != free0 {
+		t.Fatalf("free = %d, want %d", v.FreeCount(), free0)
+	}
+	if _, err := v.ReadInode(c, 9); err != ErrNoInode {
+		t.Fatalf("inode still live: %v", err)
+	}
+}
+
+func TestPublishIsIdempotent(t *testing.T) {
+	_, v, c := newTestVol(t)
+	entries := []*Entry{
+		{Seq: 0, Type: OpCreate, Ino: 9, PIno: RootIno, Name: "f"},
+		{Seq: 1, Type: OpWrite, Ino: 9, Off: 0, Data: []byte("payload")},
+	}
+	if err := v.ApplyAll(c, entries, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying after a simulated publication crash must succeed and leave
+	// identical state.
+	if err := v.ApplyAll(c, entries, nil); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	buf := make([]byte, 7)
+	n, _ := v.ReadFile(c, 9, 0, buf)
+	if n != 7 || string(buf) != "payload" {
+		t.Fatalf("after replay: %q", buf[:n])
+	}
+}
+
+func TestApplyNamespaceOps(t *testing.T) {
+	_, v, c := newTestVol(t)
+	entries := []*Entry{
+		{Type: OpMkdir, Ino: 2, PIno: RootIno, Name: "d"},
+		{Type: OpCreate, Ino: 3, PIno: 2, Name: "f"},
+		{Type: OpWrite, Ino: 3, Off: 0, Data: []byte("abc")},
+		{Type: OpRename, Ino: 3, PIno: 2, Name: "f", PIno2: RootIno, Name2: "g"},
+	}
+	if err := v.ApplyAll(c, entries, nil); err != nil {
+		t.Fatal(err)
+	}
+	ino, err := v.Resolve(c, "/g")
+	if err != nil || ino != 3 {
+		t.Fatalf("post-rename resolve = %d, %v", ino, err)
+	}
+	if _, err := v.Resolve(c, "/d/f"); err != ErrNotExist {
+		t.Fatalf("old name still resolves: %v", err)
+	}
+	// Unlink and rmdir.
+	more := []*Entry{
+		{Type: OpUnlink, Ino: 3, PIno: RootIno, Name: "g"},
+		{Type: OpRmdir, Ino: 2, PIno: RootIno, Name: "d"},
+	}
+	if err := v.ApplyAll(c, more, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.ReadInode(c, 3); err != ErrNoInode {
+		t.Fatal("unlinked inode survives")
+	}
+	if _, err := v.ReadInode(c, 2); err != ErrNoInode {
+		t.Fatal("removed dir inode survives")
+	}
+}
+
+func TestApplyRmdirNotEmpty(t *testing.T) {
+	_, v, c := newTestVol(t)
+	setup := []*Entry{
+		{Type: OpMkdir, Ino: 2, PIno: RootIno, Name: "d"},
+		{Type: OpCreate, Ino: 3, PIno: 2, Name: "f"},
+	}
+	if err := v.ApplyAll(c, setup, nil); err != nil {
+		t.Fatal(err)
+	}
+	err := v.ApplyEntry(c, &Entry{Type: OpRmdir, Ino: 2, PIno: RootIno, Name: "d"}, nil)
+	if err != ErrNotEmpty {
+		t.Fatalf("rmdir non-empty err = %v", err)
+	}
+}
+
+func TestApplyRenameOverExisting(t *testing.T) {
+	_, v, c := newTestVol(t)
+	setup := []*Entry{
+		{Type: OpCreate, Ino: 3, PIno: RootIno, Name: "src"},
+		{Type: OpCreate, Ino: 4, PIno: RootIno, Name: "dst"},
+		{Type: OpWrite, Ino: 4, Off: 0, Data: []byte("old")},
+		{Type: OpRename, Ino: 3, PIno: RootIno, Name: "src", PIno2: RootIno, Name2: "dst"},
+	}
+	if err := v.ApplyAll(c, setup, nil); err != nil {
+		t.Fatal(err)
+	}
+	ino, err := v.Resolve(c, "/dst")
+	if err != nil || ino != 3 {
+		t.Fatalf("resolve dst = %d, %v", ino, err)
+	}
+	if _, err := v.ReadInode(c, 4); err != ErrNoInode {
+		t.Fatal("replaced inode not freed")
+	}
+}
+
+func TestApplyRenameCycleRejected(t *testing.T) {
+	_, v, c := newTestVol(t)
+	setup := []*Entry{
+		{Type: OpMkdir, Ino: 2, PIno: RootIno, Name: "a"},
+		{Type: OpMkdir, Ino: 3, PIno: 2, Name: "b"},
+	}
+	if err := v.ApplyAll(c, setup, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Moving /a into /a/b would orphan the subtree into a cycle.
+	err := v.ApplyEntry(c, &Entry{Type: OpRename, Ino: 2, PIno: RootIno, Name: "a", PIno2: 3, Name2: "a2"}, nil)
+	if err == nil {
+		t.Fatal("cycle-creating rename accepted")
+	}
+	// A legal directory rename still works.
+	if err := v.ApplyEntry(c, &Entry{Type: OpMkdir, Ino: 4, PIno: RootIno, Name: "c"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.ApplyEntry(c, &Entry{Type: OpRename, Ino: 3, PIno: 2, Name: "b", PIno2: 4, Name2: "b2"}, nil); err != nil {
+		t.Fatalf("legal dir rename rejected: %v", err)
+	}
+}

@@ -1,0 +1,92 @@
+package fs
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Inode is the on-PM per-file record (InodeSize bytes on the device).
+type Inode struct {
+	Ino   Ino
+	Type  FileType
+	Nlink uint16
+	Size  uint64
+	// ExtHead is the first extent block of the file's extent chain
+	// (0 = none); ExtTail is the last, kept for O(1) appends.
+	ExtHead uint64
+	ExtTail uint64
+	Mtime   int64
+}
+
+func (in *Inode) encode() []byte {
+	b := make([]byte, InodeSize)
+	binary.LittleEndian.PutUint32(b[0:], uint32(in.Ino))
+	b[4] = byte(in.Type)
+	binary.LittleEndian.PutUint16(b[6:], in.Nlink)
+	binary.LittleEndian.PutUint64(b[8:], in.Size)
+	binary.LittleEndian.PutUint64(b[16:], in.ExtHead)
+	binary.LittleEndian.PutUint64(b[24:], in.ExtTail)
+	binary.LittleEndian.PutUint64(b[32:], uint64(in.Mtime))
+	return b
+}
+
+func (in *Inode) decode(b []byte) {
+	in.Ino = Ino(binary.LittleEndian.Uint32(b[0:]))
+	in.Type = FileType(b[4])
+	in.Nlink = binary.LittleEndian.Uint16(b[6:])
+	in.Size = binary.LittleEndian.Uint64(b[8:])
+	in.ExtHead = binary.LittleEndian.Uint64(b[16:])
+	in.ExtTail = binary.LittleEndian.Uint64(b[24:])
+	in.Mtime = int64(binary.LittleEndian.Uint64(b[32:]))
+}
+
+// ErrNoInode reports a lookup of a free or out-of-range inode.
+var ErrNoInode = fmt.Errorf("fs: no such inode")
+
+// ReadInode loads an inode from PM.
+func (v *Vol) ReadInode(c *Ctx, ino Ino) (Inode, error) {
+	if uint32(ino) >= v.sb.NInodes || ino == 0 {
+		return Inode{}, ErrNoInode
+	}
+	buf := make([]byte, InodeSize)
+	c.Read(v.inodeOff(ino), buf)
+	var in Inode
+	in.decode(buf)
+	if in.Type == TypeFree {
+		return Inode{}, ErrNoInode
+	}
+	return in, nil
+}
+
+// WriteInode stores an inode to PM.
+func (v *Vol) WriteInode(c *Ctx, in *Inode) {
+	v.writeInode(c, in)
+}
+
+func (v *Vol) writeInode(c *Ctx, in *Inode) {
+	c.Write(v.inodeOff(in.Ino), in.encode())
+}
+
+// FreeInode releases an inode and its extent chain's blocks.
+func (v *Vol) FreeInode(c *Ctx, ino Ino) error {
+	in, err := v.ReadInode(c, ino)
+	if err != nil {
+		return err
+	}
+	// Free all mapped data blocks and the extent blocks themselves.
+	blk := in.ExtHead
+	for blk != 0 {
+		hdr, ents := v.readExtBlock(c, blk)
+		for _, e := range ents {
+			v.freeRange(c, e.BlkNo, uint64(e.Count))
+		}
+		next := hdr.Next
+		v.freeRange(c, blk, 1)
+		blk = next
+	}
+	in = Inode{Ino: ino, Type: TypeFree}
+	v.writeInode(c, &in)
+	v.cacheExtentsDrop(ino)
+	v.cacheDirDrop(ino)
+	return nil
+}

@@ -1,0 +1,412 @@
+package fs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"linefs/internal/hw"
+)
+
+// EntryType tags an operational-log record.
+type EntryType uint8
+
+// Log entry operations. LibFS appends one entry per intercepted system
+// call; publication applies them to the public area in order.
+const (
+	OpWrite EntryType = iota + 1
+	OpCreate
+	OpMkdir
+	OpUnlink
+	OpRmdir
+	OpRename
+	OpTruncate
+)
+
+func (t EntryType) String() string {
+	switch t {
+	case OpWrite:
+		return "write"
+	case OpCreate:
+		return "create"
+	case OpMkdir:
+		return "mkdir"
+	case OpUnlink:
+		return "unlink"
+	case OpRmdir:
+		return "rmdir"
+	case OpRename:
+		return "rename"
+	case OpTruncate:
+		return "truncate"
+	}
+	return fmt.Sprintf("op(%d)", uint8(t))
+}
+
+// Entry is a decoded operational-log record.
+type Entry struct {
+	Seq  uint64
+	Type EntryType
+	Ino  Ino
+	// PIno is the parent directory (namespace ops); for rename it is the
+	// source directory and PIno2 the destination.
+	PIno  Ino
+	PIno2 Ino
+	// Off is the byte offset for writes and the new size for truncates.
+	Off  uint64
+	Name string
+	// Name2 is the rename destination name.
+	Name2 string
+	Data  []byte
+}
+
+const (
+	entryMagic   = 0x4C4F4745 // "LOGE"
+	entryHdrSize = 56
+)
+
+// EntryHeaderSize is the fixed encoded header length; a write entry's
+// payload begins at this offset past the entry (writes carry no names).
+const EntryHeaderSize = entryHdrSize
+
+// WireSize returns the encoded size of the entry, 8-aligned.
+func (e *Entry) WireSize() int {
+	return align8(entryHdrSize + len(e.Name) + len(e.Name2) + len(e.Data))
+}
+
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// Encode serializes the entry with its CRC.
+func (e *Entry) Encode() []byte {
+	buf := make([]byte, e.WireSize())
+	binary.LittleEndian.PutUint32(buf[0:], entryMagic)
+	// CRC at [4:8] filled last.
+	binary.LittleEndian.PutUint64(buf[8:], e.Seq)
+	buf[16] = byte(e.Type)
+	binary.LittleEndian.PutUint16(buf[18:], uint16(len(e.Name)))
+	binary.LittleEndian.PutUint16(buf[20:], uint16(len(e.Name2)))
+	binary.LittleEndian.PutUint32(buf[24:], uint32(e.Ino))
+	binary.LittleEndian.PutUint32(buf[28:], uint32(e.PIno))
+	binary.LittleEndian.PutUint32(buf[32:], uint32(e.PIno2))
+	binary.LittleEndian.PutUint64(buf[40:], e.Off)
+	binary.LittleEndian.PutUint32(buf[48:], uint32(len(e.Data)))
+	p := entryHdrSize
+	copy(buf[p:], e.Name)
+	p += len(e.Name)
+	copy(buf[p:], e.Name2)
+	p += len(e.Name2)
+	copy(buf[p:], e.Data)
+	crc := crc32.ChecksumIEEE(buf[8:])
+	binary.LittleEndian.PutUint32(buf[4:], crc)
+	return buf
+}
+
+// Decode errors.
+var (
+	ErrBadMagic = fmt.Errorf("fs: log entry bad magic")
+	ErrBadCRC   = fmt.Errorf("fs: log entry CRC mismatch")
+	ErrShort    = fmt.Errorf("fs: log entry truncated")
+)
+
+// DecodeEntry parses one entry from buf, returning it and its wire size.
+func DecodeEntry(buf []byte) (*Entry, int, error) {
+	if len(buf) < entryHdrSize {
+		return nil, 0, ErrShort
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != entryMagic {
+		return nil, 0, ErrBadMagic
+	}
+	nameLen := int(binary.LittleEndian.Uint16(buf[18:]))
+	name2Len := int(binary.LittleEndian.Uint16(buf[20:]))
+	dataLen := int(binary.LittleEndian.Uint32(buf[48:]))
+	size := align8(entryHdrSize + nameLen + name2Len + dataLen)
+	if len(buf) < size {
+		return nil, 0, ErrShort
+	}
+	if crc32.ChecksumIEEE(buf[8:size]) != binary.LittleEndian.Uint32(buf[4:]) {
+		return nil, 0, ErrBadCRC
+	}
+	e := &Entry{
+		Seq:   binary.LittleEndian.Uint64(buf[8:]),
+		Type:  EntryType(buf[16]),
+		Ino:   Ino(binary.LittleEndian.Uint32(buf[24:])),
+		PIno:  Ino(binary.LittleEndian.Uint32(buf[28:])),
+		PIno2: Ino(binary.LittleEndian.Uint32(buf[32:])),
+		Off:   binary.LittleEndian.Uint64(buf[40:]),
+	}
+	p := entryHdrSize
+	e.Name = string(buf[p : p+nameLen])
+	p += nameLen
+	e.Name2 = string(buf[p : p+name2Len])
+	p += name2Len
+	e.Data = append([]byte(nil), buf[p:p+dataLen]...)
+	return e, size, nil
+}
+
+// LogArea is a client-private operational log: a ring of entries in a PM
+// window with a persisted header. Logical offsets grow monotonically; the
+// physical position is logical modulo capacity. The header is persisted
+// after the entry bytes, giving prefix crash consistency: a crash exposes a
+// clean prefix of appended entries.
+type LogArea struct {
+	pm   *hw.PM
+	base int64
+	size int64
+	cap  int64
+
+	head uint64 // next append offset (logical)
+	tail uint64 // oldest unreclaimed offset (logical)
+	seq  uint64 // next entry sequence number
+}
+
+const (
+	logMagic   = 0x4C4F4741 // "LOGA"
+	logHdrSize = 40
+)
+
+// NewLogArea formats a log ring at [base, base+size) of pm.
+func NewLogArea(pm *hw.PM, base, size int64) *LogArea {
+	if size <= 2*BlockSize {
+		panic("fs: log area too small")
+	}
+	l := &LogArea{pm: pm, base: base, size: size, cap: size - BlockSize}
+	l.writeHeader(NoCostCtx(pm))
+	return l
+}
+
+// OpenLogArea mounts an existing log ring (e.g. after a crash), trusting
+// the persisted header, which is updated only after entry bytes persist.
+func OpenLogArea(ctx *Ctx, base, size int64) (*LogArea, error) {
+	l := &LogArea{pm: ctx.PM, base: base, size: size, cap: size - BlockSize}
+	buf := make([]byte, logHdrSize)
+	ctx.Read(base, buf)
+	if binary.LittleEndian.Uint32(buf[0:]) != logMagic {
+		return nil, fmt.Errorf("fs: bad log header magic")
+	}
+	l.head = binary.LittleEndian.Uint64(buf[8:])
+	l.tail = binary.LittleEndian.Uint64(buf[16:])
+	l.seq = binary.LittleEndian.Uint64(buf[24:])
+	return l, nil
+}
+
+func (l *LogArea) writeHeader(c *Ctx) {
+	buf := make([]byte, logHdrSize)
+	binary.LittleEndian.PutUint32(buf[0:], logMagic)
+	binary.LittleEndian.PutUint64(buf[8:], l.head)
+	binary.LittleEndian.PutUint64(buf[16:], l.tail)
+	binary.LittleEndian.PutUint64(buf[24:], l.seq)
+	c.Write(l.base, buf)
+}
+
+// Head returns the next append offset.
+func (l *LogArea) Head() uint64 { return l.head }
+
+// Tail returns the oldest unreclaimed offset.
+func (l *LogArea) Tail() uint64 { return l.tail }
+
+// Used returns bytes between tail and head.
+func (l *LogArea) Used() int64 { return int64(l.head - l.tail) }
+
+// Free returns remaining append capacity.
+func (l *LogArea) Free() int64 { return l.cap - l.Used() }
+
+// Cap returns the ring capacity.
+func (l *LogArea) Cap() int64 { return l.cap }
+
+// NextSeq returns the sequence number the next appended entry will get.
+func (l *LogArea) NextSeq() uint64 { return l.seq }
+
+// phys maps a logical offset into the ring's PM address space.
+func (l *LogArea) phys(logical uint64) int64 {
+	return l.base + BlockSize + int64(logical%uint64(l.cap))
+}
+
+// rawWrite stores bytes at a logical offset, splitting across the ring
+// boundary as needed.
+func (l *LogArea) rawWrite(c *Ctx, logical uint64, data []byte) {
+	for len(data) > 0 {
+		p := l.phys(logical)
+		room := l.base + l.size - p
+		n := int64(len(data))
+		if n > room {
+			n = room
+		}
+		c.Write(p, data[:n])
+		logical += uint64(n)
+		data = data[n:]
+	}
+}
+
+// rawRead loads bytes from a logical offset, splitting across the boundary.
+func (l *LogArea) rawRead(c *Ctx, logical uint64, dst []byte) {
+	for len(dst) > 0 {
+		p := l.phys(logical)
+		room := l.base + l.size - p
+		n := int64(len(dst))
+		if n > room {
+			n = room
+		}
+		c.Read(p, dst[:n])
+		logical += uint64(n)
+		dst = dst[n:]
+	}
+}
+
+// ErrLogFull reports that the ring has no room; the client must wait for
+// publication to reclaim entries.
+var ErrLogFull = fmt.Errorf("fs: log full")
+
+// Append encodes e (assigning its sequence number), persists it, then
+// persists the advanced header. It returns the entry's logical offset.
+func (l *LogArea) Append(c *Ctx, e *Entry) (uint64, error) {
+	e.Seq = l.seq
+	wire := e.Encode()
+	if int64(len(wire)) > l.Free() {
+		return 0, ErrLogFull
+	}
+	at := l.head
+	l.rawWrite(c, at, wire)
+	l.head += uint64(len(wire))
+	l.seq++
+	l.writeHeader(c)
+	return at, nil
+}
+
+// ReadRaw returns n raw bytes at logical offset from (for chunk transfer).
+func (l *LogArea) ReadRaw(c *Ctx, from uint64, n int) []byte {
+	buf := make([]byte, n)
+	l.rawRead(c, from, buf)
+	return buf
+}
+
+// ReadRawInto reads raw bytes at a logical offset into dst (the fast-read
+// path resolving unpublished data through the block index).
+func (l *LogArea) ReadRawInto(c *Ctx, from uint64, dst []byte) {
+	l.rawRead(c, from, dst)
+}
+
+// MirrorRaw appends raw chunk bytes (received from a replication
+// predecessor) at the same logical offset and advances the head. Offsets
+// must be contiguous with the current head.
+func (l *LogArea) MirrorRaw(c *Ctx, at uint64, data []byte) error {
+	if at != l.head {
+		return fmt.Errorf("fs: mirror gap: at=%d head=%d", at, l.head)
+	}
+	l.rawWrite(c, at, data)
+	l.head += uint64(len(data))
+	l.writeHeader(c)
+	return nil
+}
+
+// RingSeg is a physically-contiguous piece of a logical log range.
+type RingSeg struct {
+	PhysOff int64
+	Len     int
+}
+
+// Segments maps the logical range [at, at+n) to its physical pieces
+// (at most two: the range may wrap the ring end). Copy engines addressing
+// PM directly (DMA publication, one-sided last-hop writes) use this.
+func (l *LogArea) Segments(at uint64, n int) []RingSeg {
+	var out []RingSeg
+	for n > 0 {
+		p := l.phys(at)
+		room := l.base + l.size - p
+		seg := int64(n)
+		if seg > room {
+			seg = room
+		}
+		out = append(out, RingSeg{PhysOff: p, Len: int(seg)})
+		at += uint64(seg)
+		n -= int(seg)
+	}
+	return out
+}
+
+// LogView computes ring geometry for a log area on a *remote* machine
+// without holding the log itself — the penultimate replica uses it to
+// compute the physical destinations of a one-sided direct write into the
+// last replica's log slot.
+type LogView struct {
+	base, size, cap int64
+}
+
+// NewLogView describes a log ring at [base, base+size).
+func NewLogView(base, size int64) *LogView {
+	return &LogView{base: base, size: size, cap: size - BlockSize}
+}
+
+// SegmentsAt maps the logical range [at, at+n) to physical pieces.
+func (v *LogView) SegmentsAt(at uint64, n int) []RingSeg {
+	var out []RingSeg
+	for n > 0 {
+		p := v.base + BlockSize + int64(at%uint64(v.cap))
+		room := v.base + v.size - p
+		seg := int64(n)
+		if seg > room {
+			seg = room
+		}
+		out = append(out, RingSeg{PhysOff: p, Len: int(seg)})
+		at += uint64(seg)
+		n -= int(seg)
+	}
+	return out
+}
+
+// AdvanceHead moves the head to cover externally-placed bytes (the data
+// was written by a DMA engine or a one-sided RDMA from the previous chain
+// hop) and persists the header.
+func (l *LogArea) AdvanceHead(c *Ctx, at uint64, n int) error {
+	if at != l.head {
+		return fmt.Errorf("fs: advance gap: at=%d head=%d", at, l.head)
+	}
+	l.head += uint64(n)
+	l.writeHeader(c)
+	return nil
+}
+
+// DecodeRange parses the entries in [from, to). Corruption yields an error
+// positioned at the failing entry.
+func (l *LogArea) DecodeRange(c *Ctx, from, to uint64) ([]*Entry, error) {
+	raw := l.ReadRaw(c, from, int(to-from))
+	return DecodeAll(raw)
+}
+
+// DecodeAll parses a concatenation of encoded entries.
+func DecodeAll(raw []byte) ([]*Entry, error) {
+	var out []*Entry
+	for off := 0; off < len(raw); {
+		e, n, err := DecodeEntry(raw[off:])
+		if err != nil {
+			return out, fmt.Errorf("at byte %d: %w", off, err)
+		}
+		out = append(out, e)
+		off += n
+	}
+	return out, nil
+}
+
+// ResetTo repositions an (invalidated) mirror log at a new logical offset:
+// everything before at is abandoned. Used when a recovered replica rejoins
+// the chain mid-stream (§3.6: local update logs touching recovered inodes
+// are invalidated).
+func (l *LogArea) ResetTo(c *Ctx, at uint64) {
+	l.head = at
+	l.tail = at
+	l.writeHeader(c)
+}
+
+// Reclaim advances the tail to upto, freeing ring space after publication.
+func (l *LogArea) Reclaim(c *Ctx, upto uint64) {
+	if upto < l.tail || upto > l.head {
+		panic(fmt.Sprintf("fs: bad reclaim %d (tail=%d head=%d)", upto, l.tail, l.head))
+	}
+	l.tail = upto
+	l.writeHeader(c)
+}
+
+// Base returns the PM offset of the log window (for RDMA registration).
+func (l *LogArea) Base() int64 { return l.base }
+
+// Size returns the log window size including its header block.
+func (l *LogArea) Size() int64 { return l.size }

@@ -1,0 +1,249 @@
+package hw
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"linefs/internal/sim"
+)
+
+// PM models a byte-addressable persistent-memory device (Intel Optane DC in
+// App-Direct mode). It stores real bytes and distinguishes written from
+// persisted state: writes land in a volatile overlay and become durable only
+// after a Persist barrier (clwb+fence in the real system). Crash discards
+// the overlay, which lets tests exercise prefix crash consistency for real.
+//
+// Access costs are charged in virtual time: a fixed media latency per
+// operation plus serialization through the device's shared bandwidth link.
+type PM struct {
+	Env  *sim.Env
+	Name string
+
+	data    []byte
+	overlay []pmRange // unpersisted writes, newest last
+
+	ReadLat  time.Duration
+	WriteLat time.Duration
+	link     *Link
+}
+
+type pmRange struct {
+	off  int64
+	data []byte
+}
+
+// PMConfig sets PM device parameters.
+type PMConfig struct {
+	Size     int64
+	ReadLat  time.Duration
+	WriteLat time.Duration
+	// Bandwidth is the device's aggregate bandwidth in bytes/sec shared by
+	// all accessors (host CPU, DMA engine, RDMA).
+	Bandwidth float64
+}
+
+// DefaultPMConfig mirrors the paper's testbed: 6x interleaved Optane DIMMs.
+func DefaultPMConfig(size int64) PMConfig {
+	return PMConfig{
+		Size:      size,
+		ReadLat:   300 * time.Nanosecond,
+		WriteLat:  100 * time.Nanosecond,
+		Bandwidth: 10e9,
+	}
+}
+
+// newPMLink builds the device bandwidth link: full aggregate bandwidth for
+// streaming, with fine segmentation so small metadata accesses are not
+// stuck behind multi-hundred-KB bulk transfers.
+func newPMLink(env *sim.Env, name string, bw float64) *Link {
+	l := NewLink(env, name+"/bw", 0, bw)
+	l.MaxSeg = 64 << 10
+	return l
+}
+
+// NewPM creates a PM device.
+func NewPM(env *sim.Env, name string, cfg PMConfig) *PM {
+	return &PM{
+		Env:      env,
+		Name:     name,
+		data:     make([]byte, cfg.Size),
+		ReadLat:  cfg.ReadLat,
+		WriteLat: cfg.WriteLat,
+		link:     newPMLink(env, name, cfg.Bandwidth),
+	}
+}
+
+// Size returns the device capacity in bytes.
+func (pm *PM) Size() int64 { return int64(len(pm.data)) }
+
+// Link exposes the device bandwidth link so co-located engines (DMA) can
+// share it.
+func (pm *PM) Link() *Link { return pm.link }
+
+func (pm *PM) check(off int64, n int) {
+	if off < 0 || off+int64(n) > int64(len(pm.data)) {
+		panic(fmt.Sprintf("hw: PM %s access out of range: off=%d n=%d size=%d",
+			pm.Name, off, n, len(pm.data)))
+	}
+}
+
+// Read copies n=len(dst) bytes at off into dst, charging media latency and
+// bandwidth to p. The read observes unpersisted writes (program order).
+func (pm *PM) Read(p *sim.Proc, off int64, dst []byte) {
+	p.Sleep(pm.ReadLat)
+	pm.link.Transfer(p, len(dst), 0)
+	pm.ReadNoCost(off, dst)
+}
+
+// ReadNoCost copies bytes without charging time (for accessors whose cost
+// is modeled elsewhere, and for test inspection).
+func (pm *PM) ReadNoCost(off int64, dst []byte) {
+	pm.check(off, len(dst))
+	copy(dst, pm.data[off:])
+	// Patch in unpersisted overlay ranges, oldest first so newer writes win.
+	for _, r := range pm.overlay {
+		lo, hi := r.off, r.off+int64(len(r.data))
+		wlo, whi := off, off+int64(len(dst))
+		if hi <= wlo || lo >= whi {
+			continue
+		}
+		s, e := max64(lo, wlo), min64(hi, whi)
+		copy(dst[s-wlo:e-wlo], r.data[s-lo:e-lo])
+	}
+}
+
+// Write stores src at off into the volatile overlay, charging media latency
+// and bandwidth. Data becomes durable only after Persist covers it.
+func (pm *PM) Write(p *sim.Proc, off int64, src []byte) {
+	pm.WriteAmp(p, off, src, 1)
+}
+
+// WriteAmp is Write with a memory-system amplification factor: CPU stores
+// into PM cost several times their payload in memory traffic (read-modify-
+// write at cacheline granularity, write-combining misses, cache pollution),
+// which is how a host-based DFS interferes with memory-bound co-runners.
+func (pm *PM) WriteAmp(p *sim.Proc, off int64, src []byte, amp int) {
+	if amp < 1 {
+		amp = 1
+	}
+	p.Sleep(pm.WriteLat)
+	pm.link.Transfer(p, len(src)*amp, 0)
+	pm.WriteNoCost(off, src)
+}
+
+// WriteNoCost stores bytes without charging time.
+func (pm *PM) WriteNoCost(off int64, src []byte) {
+	pm.check(off, len(src))
+	cp := make([]byte, len(src))
+	copy(cp, src)
+	pm.overlay = append(pm.overlay, pmRange{off: off, data: cp})
+	if len(pm.overlay) > 4096 {
+		pm.compactOverlay()
+	}
+}
+
+// WritePersist writes src and immediately persists it (the common
+// clwb-per-store pattern on the log append path).
+func (pm *PM) WritePersist(p *sim.Proc, off int64, src []byte) {
+	pm.Write(p, off, src)
+	pm.Persist(p, off, int64(len(src)))
+}
+
+// Persist makes all writes overlapping [off, off+n) durable, charging a
+// flush cost proportional to the range.
+func (pm *PM) Persist(p *sim.Proc, off, n int64) {
+	p.Sleep(pm.WriteLat) // fence cost
+	pm.PersistNoCost(off, n)
+}
+
+// PersistNoCost applies overlapping overlay ranges to durable storage
+// without charging time.
+func (pm *PM) PersistNoCost(off, n int64) {
+	kept := pm.overlay[:0]
+	for _, r := range pm.overlay {
+		lo, hi := r.off, r.off+int64(len(r.data))
+		if hi <= off || lo >= off+n {
+			kept = append(kept, r)
+			continue
+		}
+		s, e := max64(lo, off), min64(hi, off+n)
+		copy(pm.data[s:e], r.data[s-lo:e-lo])
+		// Keep any parts of the range outside the persisted window volatile.
+		if lo < s {
+			kept = append(kept, pmRange{off: lo, data: r.data[:s-lo]})
+		}
+		if e < hi {
+			kept = append(kept, pmRange{off: e, data: r.data[e-lo:]})
+		}
+	}
+	pm.overlay = kept
+}
+
+// PersistAll flushes every pending write (a full fence; used at clean
+// shutdown and in setup code).
+func (pm *PM) PersistAll() {
+	for _, r := range pm.overlay {
+		copy(pm.data[r.off:], r.data)
+	}
+	pm.overlay = nil
+}
+
+// Crash discards all unpersisted writes, emulating power loss or an OS
+// crash before the data reached the persistence domain.
+func (pm *PM) Crash() {
+	pm.overlay = nil
+}
+
+// PendingBytes reports the volume of unpersisted data (test helper).
+func (pm *PM) PendingBytes() int64 {
+	var n int64
+	for _, r := range pm.overlay {
+		n += int64(len(r.data))
+	}
+	return n
+}
+
+// compactOverlay merges the overlay into a fresh minimal set by applying it
+// to a shadow view. It preserves read semantics while bounding memory.
+func (pm *PM) compactOverlay() {
+	// Sort a copy by offset, then merge into coalesced ranges using the
+	// "newest wins" rule already guaranteed by sequential application.
+	type span struct{ off, end int64 }
+	spans := make([]span, 0, len(pm.overlay))
+	for _, r := range pm.overlay {
+		spans = append(spans, span{r.off, r.off + int64(len(r.data))})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].off < spans[j].off })
+	merged := spans[:0]
+	for _, s := range spans {
+		if len(merged) > 0 && s.off <= merged[len(merged)-1].end {
+			if s.end > merged[len(merged)-1].end {
+				merged[len(merged)-1].end = s.end
+			}
+			continue
+		}
+		merged = append(merged, s)
+	}
+	fresh := make([]pmRange, 0, len(merged))
+	for _, s := range merged {
+		buf := make([]byte, s.end-s.off)
+		pm.ReadNoCost(s.off, buf)
+		fresh = append(fresh, pmRange{off: s.off, data: buf})
+	}
+	pm.overlay = fresh
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

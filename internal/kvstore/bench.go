@@ -1,0 +1,137 @@
+package kvstore
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"linefs/internal/sim"
+	"linefs/internal/stats"
+)
+
+// BenchConfig mirrors db_bench's default testing configuration used in the
+// paper: 16-byte keys, 1 KB values.
+type BenchConfig struct {
+	N         int
+	KeySize   int
+	ValueSize int
+	Seed      int64
+}
+
+// DefaultBenchConfig returns the paper's db_bench parameters at a
+// simulation-friendly operation count.
+func DefaultBenchConfig(n int) BenchConfig {
+	return BenchConfig{N: n, KeySize: 16, ValueSize: 1024, Seed: 42}
+}
+
+func (c BenchConfig) key(i int) []byte {
+	return []byte(fmt.Sprintf("%0*d", c.KeySize, i))
+}
+
+func (c BenchConfig) value(rng *rand.Rand) []byte {
+	v := make([]byte, c.ValueSize)
+	// Semi-compressible content, like db_bench's ~50% compressible values.
+	rng.Read(v[:c.ValueSize/2])
+	return v
+}
+
+// opLatency times one operation.
+func opLatency(p *sim.Proc, lat *stats.Latency, fn func() error) error {
+	start := p.Now()
+	err := fn()
+	lat.Add(time.Duration(p.Now() - start))
+	return err
+}
+
+// FillSeq inserts N keys in order (db_bench fillseq).
+func FillSeq(p *sim.Proc, db *DB, cfg BenchConfig) (*stats.Latency, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	lat := &stats.Latency{}
+	for i := 0; i < cfg.N; i++ {
+		k, v := cfg.key(i), cfg.value(rng)
+		if err := opLatency(p, lat, func() error { return db.Put(p, k, v) }); err != nil {
+			return lat, err
+		}
+	}
+	return lat, nil
+}
+
+// FillRandom inserts N keys in random order (db_bench fillrandom).
+func FillRandom(p *sim.Proc, db *DB, cfg BenchConfig) (*stats.Latency, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	perm := rng.Perm(cfg.N)
+	lat := &stats.Latency{}
+	for _, i := range perm {
+		k, v := cfg.key(i), cfg.value(rng)
+		if err := opLatency(p, lat, func() error { return db.Put(p, k, v) }); err != nil {
+			return lat, err
+		}
+	}
+	return lat, nil
+}
+
+// FillSync inserts with a WAL fsync per operation (db_bench fillsync).
+func FillSync(p *sim.Proc, db *DB, cfg BenchConfig) (*stats.Latency, error) {
+	old := db.opt.SyncWAL
+	db.opt.SyncWAL = true
+	defer func() { db.opt.SyncWAL = old }()
+	return FillSeq(p, db, cfg)
+}
+
+// ReadSeq reads N keys in order (db_bench readseq).
+func ReadSeq(p *sim.Proc, db *DB, cfg BenchConfig) (*stats.Latency, error) {
+	lat := &stats.Latency{}
+	for i := 0; i < cfg.N; i++ {
+		k := cfg.key(i)
+		err := opLatency(p, lat, func() error {
+			_, ok, err := db.Get(p, k)
+			if err == nil && !ok {
+				return fmt.Errorf("kvstore: missing key %s", k)
+			}
+			return err
+		})
+		if err != nil {
+			return lat, err
+		}
+	}
+	return lat, nil
+}
+
+// ReadRandom reads N keys uniformly at random (db_bench readrandom).
+func ReadRandom(p *sim.Proc, db *DB, cfg BenchConfig) (*stats.Latency, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	lat := &stats.Latency{}
+	for i := 0; i < cfg.N; i++ {
+		k := cfg.key(rng.Intn(cfg.N))
+		err := opLatency(p, lat, func() error {
+			_, _, err := db.Get(p, k)
+			return err
+		})
+		if err != nil {
+			return lat, err
+		}
+	}
+	return lat, nil
+}
+
+// ReadHot reads from the hottest 1% of the key space (db_bench readhot —
+// the paper's "skewed read").
+func ReadHot(p *sim.Proc, db *DB, cfg BenchConfig) (*stats.Latency, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	hot := cfg.N / 100
+	if hot < 1 {
+		hot = 1
+	}
+	lat := &stats.Latency{}
+	for i := 0; i < cfg.N; i++ {
+		k := cfg.key(rng.Intn(hot))
+		err := opLatency(p, lat, func() error {
+			_, _, err := db.Get(p, k)
+			return err
+		})
+		if err != nil {
+			return lat, err
+		}
+	}
+	return lat, nil
+}

@@ -1,0 +1,195 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"linefs/internal/core"
+	"linefs/internal/dfs"
+	"linefs/internal/sim"
+)
+
+// kvCluster builds a small LineFS cluster for the store to run on.
+func kvCluster(t *testing.T) (*sim.Env, *core.Cluster) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Spec.PMSize = 512 << 20
+	cfg.VolSize = 256 << 20
+	cfg.LogSize = 16 << 20
+	cfg.ChunkSize = 1 << 20
+	cfg.MaxClients = 2
+	cfg.InodesPerVol = 16384
+	env := sim.NewEnv(1)
+	cl, err := core.NewCluster(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Start()
+	return env, cl
+}
+
+func withClient(t *testing.T, d time.Duration, fn func(p *sim.Proc, c *dfs.Client)) {
+	t.Helper()
+	env, cl := kvCluster(t)
+	done := false
+	env.Go("app", func(p *sim.Proc) {
+		a, err := cl.Attach(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn(p, a.Client)
+		done = true
+	})
+	env.RunUntil(d)
+	if !done {
+		t.Fatal("workload did not finish in simulated time")
+	}
+}
+
+func TestPutGetMemtable(t *testing.T) {
+	withClient(t, 30*time.Second, func(p *sim.Proc, c *dfs.Client) {
+		db, err := Open(p, c, "/db", DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.Put(p, []byte("alpha"), []byte("1"))
+		db.Put(p, []byte("beta"), []byte("2"))
+		v, ok, err := db.Get(p, []byte("alpha"))
+		if err != nil || !ok || string(v) != "1" {
+			t.Fatalf("get = %q %v %v", v, ok, err)
+		}
+		if _, ok, _ := db.Get(p, []byte("gamma")); ok {
+			t.Fatal("phantom key")
+		}
+	})
+}
+
+func TestFlushAndTableGet(t *testing.T) {
+	withClient(t, 120*time.Second, func(p *sim.Proc, c *dfs.Client) {
+		opt := DefaultOptions()
+		opt.MemtableBytes = 64 << 10
+		db, err := Open(p, c, "/db", opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 300; i++ {
+			k := []byte(fmt.Sprintf("key%04d", i))
+			v := bytes.Repeat([]byte{byte(i)}, 500)
+			if err := db.Put(p, k, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if db.Tables() == 0 {
+			t.Fatal("no SSTable flushed")
+		}
+		for i := 0; i < 300; i += 17 {
+			k := []byte(fmt.Sprintf("key%04d", i))
+			v, ok, err := db.Get(p, k)
+			if err != nil || !ok {
+				t.Fatalf("get %s: %v %v", k, ok, err)
+			}
+			if len(v) != 500 || v[0] != byte(i) {
+				t.Fatalf("get %s: wrong value", k)
+			}
+		}
+	})
+}
+
+func TestOverwriteNewestWins(t *testing.T) {
+	withClient(t, 120*time.Second, func(p *sim.Proc, c *dfs.Client) {
+		opt := DefaultOptions()
+		opt.MemtableBytes = 8 << 10
+		db, _ := Open(p, c, "/db", opt)
+		for round := 0; round < 3; round++ {
+			for i := 0; i < 30; i++ {
+				k := []byte(fmt.Sprintf("k%02d", i))
+				v := []byte(fmt.Sprintf("round%d-%d", round, i))
+				if err := db.Put(p, k, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for i := 0; i < 30; i++ {
+			k := []byte(fmt.Sprintf("k%02d", i))
+			v, ok, err := db.Get(p, k)
+			if err != nil || !ok {
+				t.Fatalf("get %s: %v %v", k, ok, err)
+			}
+			want := fmt.Sprintf("round2-%d", i)
+			if string(v) != want {
+				t.Fatalf("get %s = %q, want %q", k, v, want)
+			}
+		}
+	})
+}
+
+func TestCompactionMergesTables(t *testing.T) {
+	withClient(t, 300*time.Second, func(p *sim.Proc, c *dfs.Client) {
+		opt := DefaultOptions()
+		opt.MemtableBytes = 16 << 10
+		opt.L0Compact = 3
+		db, _ := Open(p, c, "/db", opt)
+		for i := 0; i < 400; i++ {
+			k := []byte(fmt.Sprintf("key%05d", i))
+			v := bytes.Repeat([]byte{byte(i % 251)}, 200)
+			if err := db.Put(p, k, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if db.Tables() >= 3+1 {
+			t.Fatalf("compaction never ran: %d tables", db.Tables())
+		}
+		// Every key still readable after merges.
+		for i := 0; i < 400; i += 37 {
+			k := []byte(fmt.Sprintf("key%05d", i))
+			v, ok, err := db.Get(p, k)
+			if err != nil || !ok || v[0] != byte(i%251) {
+				t.Fatalf("post-compaction get %s: ok=%v err=%v", k, ok, err)
+			}
+		}
+	})
+}
+
+func TestBenchDriversRun(t *testing.T) {
+	withClient(t, 600*time.Second, func(p *sim.Proc, c *dfs.Client) {
+		db, _ := Open(p, c, "/db", DefaultOptions())
+		cfg := DefaultBenchConfig(400)
+		if _, err := FillSeq(p, db, cfg); err != nil {
+			t.Fatalf("fillseq: %v", err)
+		}
+		if lat, err := ReadSeq(p, db, cfg); err != nil || lat.N() != 400 {
+			t.Fatalf("readseq: %v", err)
+		}
+		if _, err := ReadRandom(p, db, cfg); err != nil {
+			t.Fatalf("readrandom: %v", err)
+		}
+		if _, err := ReadHot(p, db, cfg); err != nil {
+			t.Fatalf("readhot: %v", err)
+		}
+	})
+}
+
+func TestFillSyncDurability(t *testing.T) {
+	withClient(t, 300*time.Second, func(p *sim.Proc, c *dfs.Client) {
+		db, _ := Open(p, c, "/db", DefaultOptions())
+		cfg := DefaultBenchConfig(50)
+		lat, err := FillSync(p, db, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lat.N() != 50 {
+			t.Fatalf("latency samples = %d", lat.N())
+		}
+		// Synchronous inserts must be slower than buffered ones.
+		db2, _ := Open(p, c, "/db2", DefaultOptions())
+		lat2, err := FillSeq(p, db2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lat.Mean() <= lat2.Mean() {
+			t.Fatalf("fillsync mean %v not slower than fillseq %v", lat.Mean(), lat2.Mean())
+		}
+	})
+}

@@ -1,0 +1,362 @@
+// Package rdma models an RDMA-over-converged-Ethernet fabric: NIC ports
+// with finite bandwidth, verbs-style one-sided READ/WRITE into registered
+// memory regions, and two-sided send/receive RPC onto service queues.
+//
+// All transfer time is charged to the calling simulation process — exactly
+// the thread that posts and waits for the verb in the real system. Each
+// port's egress bandwidth is a shared contended link, which reproduces
+// network saturation; per-message overhead models headers so large-transfer
+// goodput lands below line rate, as measured on the testbed.
+package rdma
+
+import (
+	"fmt"
+	"time"
+
+	"linefs/internal/hw"
+	"linefs/internal/sim"
+	"linefs/internal/stats"
+)
+
+// Fabric is the switched network connecting NIC ports.
+type Fabric struct {
+	Env *sim.Env
+	// SwitchLat is the one-way propagation latency through the switch.
+	SwitchLat time.Duration
+	// Total counts all bytes put on the wire (for bandwidth plots).
+	Total  stats.Counter
+	Series *stats.TimeSeries
+
+	ports map[string]*NIC
+}
+
+// NewFabric creates a fabric with the given switch latency.
+func NewFabric(env *sim.Env, switchLat time.Duration) *Fabric {
+	return &Fabric{Env: env, SwitchLat: switchLat, ports: make(map[string]*NIC)}
+}
+
+// NIC is a network port: the RDMA-capable interface of a host or SmartNIC.
+type NIC struct {
+	Fab  *Fabric
+	Name string
+	// TX is the egress link; ingress is accounted but not serialized
+	// (full-duplex ports, single-predecessor chain traffic).
+	TX *hw.Link
+	RX stats.Counter
+
+	// MsgOverhead is charged per message on the wire (headers, CRC).
+	MsgOverhead int
+
+	// QPs tracks open queue pairs; beyond QPCacheSize the NIC's connection
+	// cache thrashes and per-message latency grows.
+	QPs         int
+	QPCacheSize int
+	QPPenalty   time.Duration // extra latency per QP beyond the cache size
+
+	services map[string]*sim.Queue[*Msg]
+	regions  map[string]Region
+}
+
+// NewNIC registers a port on the fabric with the given egress bandwidth.
+func (f *Fabric) NewNIC(name string, bytesPerSec float64) *NIC {
+	if _, ok := f.ports[name]; ok {
+		panic(fmt.Sprintf("rdma: duplicate NIC %q", name))
+	}
+	n := &NIC{
+		Fab:         f,
+		Name:        name,
+		TX:          hw.NewLink(f.Env, name+"/tx", 0, bytesPerSec),
+		MsgOverhead: 96,
+		QPCacheSize: 64,
+		QPPenalty:   200 * time.Nanosecond,
+		services:    make(map[string]*sim.Queue[*Msg]),
+		regions:     make(map[string]Region),
+	}
+	f.ports[name] = n
+	return n
+}
+
+// Lookup finds a port by name.
+func (f *Fabric) Lookup(name string) *NIC {
+	n, ok := f.ports[name]
+	if !ok {
+		panic(fmt.Sprintf("rdma: unknown NIC %q", name))
+	}
+	return n
+}
+
+// Register exposes a service queue for two-sided messages.
+func (n *NIC) Register(service string, q *sim.Queue[*Msg]) {
+	n.services[service] = q
+}
+
+// Unregister removes a service (e.g. when its node crashes).
+func (n *NIC) Unregister(service string) {
+	delete(n.services, service)
+}
+
+// RegisterRegion exposes a memory region for one-sided access.
+func (n *NIC) RegisterRegion(name string, r Region) {
+	n.regions[name] = r
+}
+
+// Region is registered memory that remote one-sided verbs can access.
+// Implementations charge the cost of reaching the backing memory (NIC DRAM,
+// or host PM across PCIe).
+type Region interface {
+	ReadAt(p *sim.Proc, off int64, dst []byte)
+	WriteAt(p *sim.Proc, off int64, src []byte)
+	Size() int64
+}
+
+// extraLat returns the per-message latency penalty from QP cache pressure.
+func (n *NIC) extraLat() time.Duration {
+	over := n.QPs - n.QPCacheSize
+	if over <= 0 {
+		return 0
+	}
+	return time.Duration(over) * n.QPPenalty
+}
+
+// Msg is a two-sided message delivered to a service queue.
+type Msg struct {
+	Op   string
+	From *NIC
+	Arg  any
+	// Size is the payload wire size in bytes.
+	Size int
+
+	conn  *Conn
+	reply *sim.Event
+}
+
+// Reply carries an RPC response value.
+type Reply struct {
+	Val any
+	Err error
+}
+
+// Conn is a queue pair between two ports bound to a remote service.
+type Conn struct {
+	Local, Remote *NIC
+	Service       string
+	// LowLat marks the latency-critical QP class (dedicated polling on the
+	// serving side); it does not change wire cost, only queue routing.
+	LowLat bool
+	// Prio orders this connection's traffic on shared links.
+	Prio int
+
+	closed bool
+}
+
+// Dial opens a queue pair from local to the named service on remote.
+// Low-latency connections carry link priority: their (small) messages are
+// not serialized behind bulk transfers at saturated ports.
+func Dial(local, remote *NIC, service string, lowLat bool) *Conn {
+	local.QPs++
+	remote.QPs++
+	prio := 0
+	if lowLat {
+		prio = 8
+	}
+	return &Conn{Local: local, Remote: remote, Service: service, LowLat: lowLat, Prio: prio}
+}
+
+// Close releases the queue pair.
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.Local.QPs--
+	c.Remote.QPs--
+}
+
+// wireSize adds per-message overhead.
+func (c *Conn) wireSize(n int) int { return n + c.Local.MsgOverhead }
+
+// sendCost charges the request path: local egress serialization, switch
+// propagation, QP-cache penalties.
+func (c *Conn) sendCost(p *sim.Proc, size int) {
+	w := c.wireSize(size)
+	c.Local.TX.Transfer(p, w, c.Prio)
+	c.Local.Fab.Total.Add(int64(w))
+	if s := c.Local.Fab.Series; s != nil {
+		s.Add(time.Duration(p.Env().Now()), float64(w))
+	}
+	p.Sleep(c.Local.Fab.SwitchLat + c.Local.extraLat() + c.Remote.extraLat())
+	c.Remote.RX.Add(int64(w))
+}
+
+// returnCost charges the response path back to the caller.
+func (c *Conn) returnCost(p *sim.Proc, size int) {
+	w := c.wireSize(size)
+	c.Remote.TX.Transfer(p, w, c.Prio)
+	c.Remote.Fab.Total.Add(int64(w))
+	if s := c.Remote.Fab.Series; s != nil {
+		s.Add(time.Duration(p.Env().Now()), float64(w))
+	}
+	p.Sleep(c.Remote.Fab.SwitchLat)
+	c.Local.RX.Add(int64(w))
+}
+
+// ErrUnreachable is returned when the remote service is not registered
+// (node down or not yet started).
+var ErrUnreachable = fmt.Errorf("rdma: service unreachable")
+
+// Send delivers a one-way message to the remote service, blocking the
+// caller for the wire time only.
+func (c *Conn) Send(p *sim.Proc, op string, arg any, size int) error {
+	c.sendCost(p, size)
+	q, ok := c.Remote.services[c.Service]
+	if !ok {
+		return ErrUnreachable
+	}
+	if !q.Put(p, &Msg{Op: op, From: c.Local, Arg: arg, Size: size, conn: c}) {
+		return ErrUnreachable
+	}
+	return nil
+}
+
+// Call delivers a message and blocks until the handler responds.
+func (c *Conn) Call(p *sim.Proc, op string, arg any, size int) (any, error) {
+	c.sendCost(p, size)
+	q, ok := c.Remote.services[c.Service]
+	if !ok {
+		return nil, ErrUnreachable
+	}
+	m := &Msg{Op: op, From: c.Local, Arg: arg, Size: size, conn: c, reply: sim.NewEvent(p.Env())}
+	if !q.Put(p, m) {
+		return nil, ErrUnreachable
+	}
+	rep := p.Wait(m.reply).(Reply)
+	return rep.Val, rep.Err
+}
+
+// CallTimeout is Call with an upper bound; ok=false means no response in d
+// (e.g. the serving process died mid-request).
+func (c *Conn) CallTimeout(p *sim.Proc, op string, arg any, size int, d time.Duration) (any, error, bool) {
+	c.sendCost(p, size)
+	q, ok := c.Remote.services[c.Service]
+	if !ok {
+		return nil, ErrUnreachable, true
+	}
+	m := &Msg{Op: op, From: c.Local, Arg: arg, Size: size, conn: c, reply: sim.NewEvent(p.Env())}
+	if !q.Put(p, m) {
+		return nil, ErrUnreachable, true
+	}
+	v, replied := p.WaitTimeout(m.reply, d)
+	if !replied {
+		return nil, nil, false
+	}
+	rep := v.(Reply)
+	return rep.Val, rep.Err, true
+}
+
+// Respond sends the RPC response of the given wire size back to the caller,
+// charging the serving process for the return path.
+func (m *Msg) Respond(p *sim.Proc, val any, size int) {
+	if m.reply == nil {
+		return
+	}
+	m.conn.returnCost(p, size)
+	m.reply.Trigger(Reply{Val: val})
+}
+
+// RespondErr sends an error response.
+func (m *Msg) RespondErr(p *sim.Proc, err error) {
+	if m.reply == nil {
+		return
+	}
+	m.conn.returnCost(p, 16)
+	m.reply.Trigger(Reply{Err: err})
+}
+
+// NeedsReply reports whether the sender is waiting on a response.
+func (m *Msg) NeedsReply() bool { return m.reply != nil }
+
+// RDMARead fetches len(dst) bytes from the named remote region at off using
+// a one-sided READ: no remote CPU involvement. The caller pays the request
+// round trip, the remote region's memory cost, and the data serialization
+// on the remote's egress.
+func (c *Conn) RDMARead(p *sim.Proc, region string, off int64, dst []byte) error {
+	r, ok := c.Remote.regions[region]
+	if !ok {
+		return ErrUnreachable
+	}
+	// Request descriptor out.
+	c.sendCost(p, 16)
+	// Remote NIC pulls from the region (possibly across PCIe) …
+	r.ReadAt(p, off, dst)
+	// … and streams it back.
+	c.returnCost(p, len(dst))
+	return nil
+}
+
+// RDMAWrite places src into the named remote region at off using a
+// one-sided WRITE, again without remote CPU involvement.
+func (c *Conn) RDMAWrite(p *sim.Proc, region string, off int64, src []byte) error {
+	r, ok := c.Remote.regions[region]
+	if !ok {
+		return ErrUnreachable
+	}
+	c.sendCost(p, len(src))
+	r.WriteAt(p, off, src)
+	return nil
+}
+
+// PMRegion exposes a window of a PM device, optionally behind extra links
+// (PCIe when the accessor is a SmartNIC reaching host PM).
+type PMRegion struct {
+	PM    *hw.PM
+	Base  int64
+	Len   int64
+	Extra []*hw.Link
+	// Persist makes one-sided writes durable immediately (RDMA into PM with
+	// DDIO disabled / flush-on-write), which chain replication relies on.
+	Persist bool
+}
+
+// ReadAt implements Region.
+func (r *PMRegion) ReadAt(p *sim.Proc, off int64, dst []byte) {
+	for _, l := range r.Extra {
+		l.Transfer(p, len(dst), 0)
+	}
+	r.PM.Read(p, r.Base+off, dst)
+}
+
+// WriteAt implements Region.
+func (r *PMRegion) WriteAt(p *sim.Proc, off int64, src []byte) {
+	for _, l := range r.Extra {
+		l.Transfer(p, len(src), 0)
+	}
+	if r.Persist {
+		r.PM.WritePersist(p, r.Base+off, src)
+	} else {
+		r.PM.Write(p, r.Base+off, src)
+	}
+}
+
+// Size implements Region.
+func (r *PMRegion) Size() int64 { return r.Len }
+
+// MemRegion exposes a volatile buffer (SmartNIC DRAM) with its memory cost.
+type MemRegion struct {
+	Mem  *hw.Mem
+	Data []byte
+}
+
+// ReadAt implements Region.
+func (r *MemRegion) ReadAt(p *sim.Proc, off int64, dst []byte) {
+	r.Mem.Access(p, len(dst))
+	copy(dst, r.Data[off:])
+}
+
+// WriteAt implements Region.
+func (r *MemRegion) WriteAt(p *sim.Proc, off int64, src []byte) {
+	r.Mem.Access(p, len(src))
+	copy(r.Data[off:], src)
+}
+
+// Size implements Region.
+func (r *MemRegion) Size() int64 { return int64(len(r.Data)) }

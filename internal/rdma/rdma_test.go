@@ -1,0 +1,206 @@
+package rdma
+
+import (
+	"testing"
+	"time"
+
+	"linefs/internal/hw"
+	"linefs/internal/sim"
+)
+
+func testFabric(e *sim.Env) (*Fabric, *NIC, *NIC) {
+	f := NewFabric(e, time.Microsecond)
+	a := f.NewNIC("a", 1e9)
+	b := f.NewNIC("b", 1e9)
+	return f, a, b
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	e := sim.NewEnv(1)
+	_, a, b := testFabric(e)
+	q := sim.NewQueue[*Msg](e, 0)
+	b.Register("svc", q)
+	e.Go("server", func(p *sim.Proc) {
+		m, _ := q.Get(p)
+		if m.Op != "ping" || m.Arg.(string) != "hello" {
+			t.Errorf("got op=%q arg=%v", m.Op, m.Arg)
+		}
+		m.Respond(p, "world", 8)
+	})
+	e.Go("client", func(p *sim.Proc) {
+		c := Dial(a, b, "svc", false)
+		v, err := c.Call(p, "ping", "hello", 8)
+		if err != nil || v.(string) != "world" {
+			t.Errorf("call = %v, %v", v, err)
+		}
+	})
+	e.Run()
+}
+
+func TestCallUnreachableService(t *testing.T) {
+	e := sim.NewEnv(1)
+	_, a, b := testFabric(e)
+	e.Go("client", func(p *sim.Proc) {
+		c := Dial(a, b, "nosuch", false)
+		if _, err := c.Call(p, "x", nil, 4); err != ErrUnreachable {
+			t.Errorf("err = %v, want ErrUnreachable", err)
+		}
+	})
+	e.Run()
+}
+
+func TestCallTimeoutOnDeadServer(t *testing.T) {
+	e := sim.NewEnv(1)
+	_, a, b := testFabric(e)
+	q := sim.NewQueue[*Msg](e, 0)
+	b.Register("svc", q)
+	// No server process ever drains the queue? Put succeeds (unbounded) but
+	// nothing responds.
+	e.Go("client", func(p *sim.Proc) {
+		c := Dial(a, b, "svc", false)
+		_, _, ok := c.CallTimeout(p, "x", nil, 4, 5*time.Millisecond)
+		if ok {
+			t.Error("expected timeout")
+		}
+	})
+	e.Run()
+}
+
+func TestSendDeliversWithoutReply(t *testing.T) {
+	e := sim.NewEnv(1)
+	_, a, b := testFabric(e)
+	q := sim.NewQueue[*Msg](e, 0)
+	b.Register("svc", q)
+	var got string
+	e.Go("server", func(p *sim.Proc) {
+		m, _ := q.Get(p)
+		got = m.Op
+		if m.NeedsReply() {
+			t.Error("one-way send should not need a reply")
+		}
+	})
+	e.Go("client", func(p *sim.Proc) {
+		c := Dial(a, b, "svc", false)
+		if err := c.Send(p, "notify", nil, 16); err != nil {
+			t.Error(err)
+		}
+	})
+	e.Run()
+	if got != "notify" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRDMAWriteReadPMRegion(t *testing.T) {
+	e := sim.NewEnv(1)
+	_, a, b := testFabric(e)
+	pm := hw.NewPM(e, "pm", hw.DefaultPMConfig(1<<20))
+	b.RegisterRegion("log", &PMRegion{PM: pm, Base: 4096, Len: 1 << 16, Persist: true})
+	e.Go("client", func(p *sim.Proc) {
+		c := Dial(a, b, "", false)
+		if err := c.RDMAWrite(p, "log", 100, []byte("chunkdata")); err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]byte, 9)
+		if err := c.RDMARead(p, "log", 100, dst); err != nil {
+			t.Fatal(err)
+		}
+		if string(dst) != "chunkdata" {
+			t.Errorf("read back %q", dst)
+		}
+	})
+	e.Run()
+	// Persist=true: data survives a crash.
+	pm.Crash()
+	buf := make([]byte, 9)
+	pm.ReadNoCost(4096+100, buf)
+	if string(buf) != "chunkdata" {
+		t.Fatalf("after crash: %q", buf)
+	}
+}
+
+func TestRDMAWriteChargesWireTime(t *testing.T) {
+	e := sim.NewEnv(1)
+	_, a, b := testFabric(e) // 1 GB/s
+	pm := hw.NewPM(e, "pm", hw.PMConfig{Size: 1 << 20, Bandwidth: 100e9})
+	b.RegisterRegion("r", &PMRegion{PM: pm, Base: 0, Len: 1 << 20})
+	var took sim.Time
+	e.Go("client", func(p *sim.Proc) {
+		c := Dial(a, b, "", false)
+		c.RDMAWrite(p, "r", 0, make([]byte, 1_000_000))
+		took = p.Now()
+	})
+	e.Run()
+	// ~1 MB at 1 GB/s ≈ 1 ms; allow for header overhead and switch latency.
+	if took < sim.Time(time.Millisecond) || took > sim.Time(1100*time.Microsecond) {
+		t.Fatalf("1MB write took %v, want ≈1ms", took)
+	}
+}
+
+func TestSharedEgressSaturation(t *testing.T) {
+	e := sim.NewEnv(1)
+	_, a, b := testFabric(e) // 1 GB/s egress on a
+	pm := hw.NewPM(e, "pm", hw.PMConfig{Size: 8 << 20, Bandwidth: 100e9})
+	b.RegisterRegion("r", &PMRegion{PM: pm, Base: 0, Len: 8 << 20})
+	var last sim.Time
+	for i := 0; i < 4; i++ {
+		e.Go("tx", func(p *sim.Proc) {
+			c := Dial(a, b, "", false)
+			c.RDMAWrite(p, "r", 0, make([]byte, 1_000_000))
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	e.Run()
+	// 4 MB through a shared 1 GB/s egress ≈ 4 ms.
+	if last < sim.Time(4*time.Millisecond) || last > sim.Time(4400*time.Microsecond) {
+		t.Fatalf("4 concurrent 1MB writes done at %v, want ≈4ms", last)
+	}
+}
+
+func TestQPCachePenalty(t *testing.T) {
+	e := sim.NewEnv(1)
+	f := NewFabric(e, 0)
+	a := f.NewNIC("a", 1e12)
+	b := f.NewNIC("b", 1e12)
+	a.QPCacheSize, b.QPCacheSize = 1, 1
+	a.QPPenalty, b.QPPenalty = time.Microsecond, time.Microsecond
+	conns := make([]*Conn, 5)
+	for i := range conns {
+		conns[i] = Dial(a, b, "", false)
+	}
+	pm := hw.NewPM(e, "pm", hw.PMConfig{Size: 1 << 12, Bandwidth: 1e12})
+	b.RegisterRegion("r", &PMRegion{PM: pm, Base: 0, Len: 1 << 12})
+	var took sim.Time
+	e.Go("c", func(p *sim.Proc) {
+		conns[0].RDMAWrite(p, "r", 0, make([]byte, 8))
+		took = p.Now()
+	})
+	e.Run()
+	// 4 QPs over cache size on each side → ≥8us extra latency.
+	if took < sim.Time(8*time.Microsecond) {
+		t.Fatalf("with thrashed QP cache write took %v, want ≥8us", took)
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	if a.QPs != 0 || b.QPs != 0 {
+		t.Fatalf("QP leak: a=%d b=%d", a.QPs, b.QPs)
+	}
+}
+
+func TestFabricByteAccounting(t *testing.T) {
+	e := sim.NewEnv(1)
+	f, a, b := testFabric(e)
+	pm := hw.NewPM(e, "pm", hw.PMConfig{Size: 1 << 16, Bandwidth: 1e12})
+	b.RegisterRegion("r", &PMRegion{PM: pm, Base: 0, Len: 1 << 16})
+	e.Go("c", func(p *sim.Proc) {
+		c := Dial(a, b, "", false)
+		c.RDMAWrite(p, "r", 0, make([]byte, 1000))
+	})
+	e.Run()
+	if f.Total.Total() < 1000 {
+		t.Fatalf("fabric bytes = %d, want >= 1000", f.Total.Total())
+	}
+}

@@ -1,0 +1,180 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel drives cooperative processes (goroutines) over a virtual clock.
+// Exactly one goroutine — either the scheduler or a single process — runs at
+// any moment, so simulations are fully deterministic for a fixed seed and
+// independent of host scheduling. Processes block on virtual time (Sleep),
+// on Events, on Resources (contended capacity such as CPU cores), and on
+// Queues (bounded FIFOs).
+//
+// The design follows the classic process-interaction style of SimPy: the
+// scheduler pops the earliest event off a priority queue ordered by
+// (time, sequence) and runs its action; actions either complete inline or
+// hand control to a process, which runs until it blocks again.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Dur converts a virtual time to a time.Duration for formatting.
+func (t Time) Dur() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// item is a scheduled action in the event queue.
+type item struct {
+	t   Time
+	seq uint64 // tie-breaker: FIFO among equal timestamps
+	fn  func()
+}
+
+type itemHeap []item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x any)   { *h = append(*h, x.(item)) }
+func (h *itemHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h itemHeap) peek() item    { return h[0] }
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// All methods must be called from the scheduler goroutine or from a process
+// belonging to this environment; Env is not safe for use from foreign
+// goroutines.
+type Env struct {
+	now     Time
+	seq     uint64
+	eq      itemHeap
+	yielded chan struct{}
+	rng     *rand.Rand
+	procSeq int
+	live    int // number of live processes
+	procs   []*Proc
+
+	// stopped aborts Run at the next event boundary.
+	stopped bool
+}
+
+// NewEnv creates a simulation environment seeded deterministically.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		yielded: make(chan struct{}),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's deterministic random source.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs fn at now+d. d must be non-negative.
+func (e *Env) Schedule(d time.Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative schedule delay %v", d))
+	}
+	e.scheduleAt(e.now+Time(d), fn)
+}
+
+func (e *Env) scheduleAt(t Time, fn func()) {
+	e.seq++
+	heap.Push(&e.eq, item{t: t, seq: e.seq, fn: fn})
+}
+
+// Stop aborts the current Run at the next event boundary. Pending events
+// remain queued; a subsequent Run resumes them.
+func (e *Env) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains (all processes blocked forever
+// or finished) or Stop is called.
+func (e *Env) Run() {
+	e.run(Time(1<<62 - 1))
+}
+
+// RunUntil executes events with timestamps <= t (virtual nanoseconds from
+// start) and then stops, leaving the clock at t.
+func (e *Env) RunUntil(t time.Duration) {
+	e.run(Time(t))
+	if e.now < Time(t) {
+		e.now = Time(t)
+	}
+}
+
+// RunFor advances the simulation by d beyond the current clock.
+func (e *Env) RunFor(d time.Duration) { e.RunUntil(time.Duration(e.now) + d) }
+
+func (e *Env) run(limit Time) {
+	e.stopped = false
+	for len(e.eq) > 0 && !e.stopped {
+		if e.eq.peek().t > limit {
+			return
+		}
+		it := heap.Pop(&e.eq).(item)
+		if it.t < e.now {
+			panic("sim: event queue time went backwards")
+		}
+		e.now = it.t
+		it.fn()
+	}
+}
+
+// dispatch hands control to p and waits until it yields back.
+// Must only be called from the scheduler goroutine (inside an event action).
+func (e *Env) dispatch(p *Proc) {
+	if p.terminated {
+		return
+	}
+	p.resume <- struct{}{}
+	<-e.yielded
+}
+
+// wakeAt schedules process p, currently blocked with generation gen, to be
+// resumed at time t. Stale generations (the process has since been woken by
+// someone else) are ignored, which makes racing wake-ups — timeouts versus
+// event triggers versus kills — safe.
+func (e *Env) wakeAt(t Time, p *Proc, gen uint64) {
+	e.scheduleAt(t, func() {
+		if p.terminated || p.gen != gen || !p.blocked {
+			return
+		}
+		p.blocked = false
+		e.dispatch(p)
+	})
+}
+
+// Live reports the number of processes that have started and not finished.
+func (e *Env) Live() int { return e.live }
+
+// Shutdown kills every live process and drains their unwinding, releasing
+// all goroutines (and therefore everything the simulation references) for
+// garbage collection. The environment must not be used afterwards.
+func (e *Env) Shutdown() {
+	for _, p := range e.procs {
+		p.Kill()
+	}
+	for i := 0; e.live > 0 && i < 1000; i++ {
+		e.run(Time(1<<62 - 1))
+		for _, p := range e.procs {
+			p.Kill()
+		}
+	}
+	e.procs = nil
+	e.eq = nil
+	// Return freed pages to the OS: simulations touch GBs of PM arrays and
+	// back-to-back experiments would otherwise accumulate resident memory.
+	debug.FreeOSMemory()
+}

@@ -1,0 +1,46 @@
+package sim
+
+// Event is a one-shot occurrence that processes can wait on. Triggering an
+// event wakes all current waiters; later waiters observe it already
+// triggered and do not block. Events carry an optional value.
+type Event struct {
+	env     *Env
+	done    bool
+	val     any
+	waiters []eventWaiter
+}
+
+type eventWaiter struct {
+	p   *Proc
+	gen uint64
+}
+
+// NewEvent creates an untriggered event.
+func NewEvent(e *Env) *Event { return &Event{env: e} }
+
+// Triggered reports whether the event has fired.
+func (ev *Event) Triggered() bool { return ev.done }
+
+// Value returns the value the event was triggered with (nil until then).
+func (ev *Event) Value() any { return ev.val }
+
+// Trigger fires the event with val, waking all waiters at the current
+// virtual time. Triggering an already-triggered event is a no-op.
+func (ev *Event) Trigger(val any) { ev.trigger(val) }
+
+func (ev *Event) trigger(val any) {
+	if ev.done {
+		return
+	}
+	ev.done = true
+	ev.val = val
+	ws := ev.waiters
+	ev.waiters = nil
+	for _, w := range ws {
+		ev.env.wakeAt(ev.env.now, w.p, w.gen)
+	}
+}
+
+func (ev *Event) addWaiter(p *Proc, gen uint64) {
+	ev.waiters = append(ev.waiters, eventWaiter{p, gen})
+}

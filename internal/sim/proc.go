@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// killSignal is panicked inside a killed process to unwind its stack.
+type killSignal struct{}
+
+// Proc is a simulation process: a goroutine that runs cooperatively under
+// the environment's scheduler. A process blocks by calling Sleep, Wait,
+// Acquire and friends; while blocked, virtual time advances.
+type Proc struct {
+	env  *Env
+	name string
+
+	resume chan struct{}
+
+	// gen is bumped every time the process blocks; wake-ups carry the
+	// generation they were armed with so stale wake-ups are discarded.
+	gen     uint64
+	blocked bool
+
+	terminated    bool
+	killed        bool
+	interrupt     bool // set by Interrupt; consumed by interruptible waits
+	interruptible bool // true while blocked in an interruptible wait
+
+	// Done triggers when the process function returns or is killed.
+	Done *Event
+}
+
+// Go starts a new process running fn. The process begins at the current
+// virtual time (after already-queued events at this timestamp).
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		env:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		Done:   NewEvent(e),
+	}
+	e.live++
+	e.procSeq++
+	e.procs = append(e.procs, p)
+	e.Schedule(0, func() {
+		go p.top(fn)
+		e.dispatch(p)
+	})
+	return p
+}
+
+func (p *Proc) top(fn func(*Proc)) {
+	<-p.resume
+	defer func() {
+		r := recover()
+		if r != nil {
+			if _, ok := r.(killSignal); !ok {
+				// Re-panicking here would crash an unrelated goroutine
+				// stack; annotate with the process name for diagnosis.
+				panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+			}
+		}
+		p.terminated = true
+		p.env.live--
+		p.Done.trigger(nil)
+		p.env.yielded <- struct{}{}
+	}()
+	fn(p)
+}
+
+// Env returns the environment that owns the process.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the process name given at creation.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// block parks the process until a matching wake-up dispatches it again.
+// Callers must have armed a wake-up (timer, event waiter, resource grant)
+// carrying the returned generation before calling block.
+func (p *Proc) block() {
+	p.env.yielded <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killSignal{})
+	}
+}
+
+// arm marks the process blocked and returns the wake generation that
+// wake-ups must carry.
+func (p *Proc) arm() uint64 {
+	p.gen++
+	p.blocked = true
+	return p.gen
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v", d))
+	}
+	if d == 0 {
+		return
+	}
+	gen := p.arm()
+	p.env.wakeAt(p.env.now+Time(d), p, gen)
+	p.block()
+}
+
+// Yield reschedules the process at the current time, letting other runnable
+// events at this timestamp execute first.
+func (p *Proc) Yield() {
+	gen := p.arm()
+	p.env.wakeAt(p.env.now, p, gen)
+	p.block()
+}
+
+// Kill terminates the process the next time it would run. Killing an
+// already-terminated process is a no-op. A process cannot kill itself;
+// return from its function instead.
+func (p *Proc) Kill() {
+	if p.terminated || p.killed {
+		return
+	}
+	p.killed = true
+	if p.blocked {
+		gen := p.gen
+		p.env.scheduleAt(p.env.now, func() {
+			if p.terminated || p.gen != gen || !p.blocked {
+				return
+			}
+			p.blocked = false
+			p.env.dispatch(p)
+		})
+	}
+	// If the process is currently runnable (e.g. it is the caller's peer
+	// mid-dispatch) the kill flag is checked at its next block().
+}
+
+// Interrupt wakes the process out of an interruptible wait (SleepI). If the
+// process is not blocked in an interruptible wait — including when it is
+// queued on a Resource or Queue — the interrupt is recorded and consumed by
+// its next interruptible wait.
+func (p *Proc) Interrupt() {
+	if p.terminated {
+		return
+	}
+	p.interrupt = true
+	if p.blocked && p.interruptible {
+		gen := p.gen
+		p.env.scheduleAt(p.env.now, func() {
+			if p.terminated || p.gen != gen || !p.blocked {
+				return
+			}
+			p.blocked = false
+			p.env.dispatch(p)
+		})
+	}
+}
+
+// SleepI is an interruptible sleep. It returns true if the full duration
+// elapsed and false if the sleep was cut short by Interrupt.
+func (p *Proc) SleepI(d time.Duration) bool {
+	if p.interrupt {
+		p.interrupt = false
+		return false
+	}
+	if d == 0 {
+		return true
+	}
+	gen := p.arm()
+	p.interruptible = true
+	p.env.wakeAt(p.env.now+Time(d), p, gen)
+	p.block()
+	p.interruptible = false
+	if p.interrupt {
+		p.interrupt = false
+		return false
+	}
+	return true
+}
+
+// Wait blocks until ev triggers and returns its value. If ev has already
+// triggered it returns immediately.
+func (p *Proc) Wait(ev *Event) any {
+	if ev.done {
+		return ev.val
+	}
+	gen := p.arm()
+	ev.addWaiter(p, gen)
+	p.block()
+	return ev.val
+}
+
+// WaitTimeout blocks until ev triggers or d elapses. ok reports whether the
+// event triggered (true) rather than the timeout firing (false).
+func (p *Proc) WaitTimeout(ev *Event, d time.Duration) (val any, ok bool) {
+	if ev.done {
+		return ev.val, true
+	}
+	gen := p.arm()
+	ev.addWaiter(p, gen)
+	p.env.wakeAt(p.env.now+Time(d), p, gen)
+	p.block()
+	if ev.done {
+		return ev.val, true
+	}
+	return nil, false
+}
+
+// WaitAny blocks until one of the events triggers; it returns the index of
+// the first event (in argument order) found triggered, and its value.
+func (p *Proc) WaitAny(evs ...*Event) (int, any) {
+	for i, ev := range evs {
+		if ev.done {
+			return i, ev.val
+		}
+	}
+	gen := p.arm()
+	for _, ev := range evs {
+		ev.addWaiter(p, gen)
+	}
+	p.block()
+	for i, ev := range evs {
+		if ev.done {
+			return i, ev.val
+		}
+	}
+	panic("sim: WaitAny woke with no event triggered")
+}

@@ -1,0 +1,184 @@
+package sim
+
+// Queue is a bounded FIFO connecting processes, analogous to a Go channel
+// in virtual time. A capacity of 0 means unbounded. Closed queues reject
+// puts and let getters drain remaining items, after which Get reports !ok.
+type Queue[T any] struct {
+	env    *Env
+	limit  int
+	items  []T
+	closed bool
+
+	getters []*qwaiter[T]
+	putters []*qwaiter[T]
+}
+
+type qwaiter[T any] struct {
+	p       *Proc
+	gen     uint64
+	val     T
+	handed  bool // getter: value delivered; putter: value accepted
+	aborted bool // queue closed while waiting
+}
+
+// NewQueue creates a queue with the given capacity (0 = unbounded).
+func NewQueue[T any](e *Env, capacity int) *Queue[T] {
+	return &Queue[T]{env: e, limit: capacity}
+}
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+func (q *Queue[T]) popLiveGetter() *qwaiter[T] {
+	for len(q.getters) > 0 {
+		w := q.getters[0]
+		q.getters = q.getters[1:]
+		if dead(w.p) {
+			continue
+		}
+		return w
+	}
+	return nil
+}
+
+func (q *Queue[T]) popLivePutter() *qwaiter[T] {
+	for len(q.putters) > 0 {
+		w := q.putters[0]
+		q.putters = q.putters[1:]
+		if dead(w.p) {
+			continue
+		}
+		return w
+	}
+	return nil
+}
+
+// Put appends v, blocking while the queue is full. Put on a closed queue
+// reports false; otherwise true once the value is accepted.
+func (q *Queue[T]) Put(p *Proc, v T) bool {
+	if q.closed {
+		return false
+	}
+	if g := q.popLiveGetter(); g != nil {
+		g.val = v
+		g.handed = true
+		q.env.wakeAt(q.env.now, g.p, g.gen)
+		return true
+	}
+	if q.limit == 0 || len(q.items) < q.limit {
+		q.items = append(q.items, v)
+		return true
+	}
+	w := &qwaiter[T]{p: p, gen: p.arm(), val: v}
+	q.putters = append(q.putters, w)
+	p.block()
+	return w.handed && !w.aborted
+}
+
+// TryPut appends v without blocking; it reports success.
+func (q *Queue[T]) TryPut(v T) bool {
+	if q.closed {
+		return false
+	}
+	if g := q.popLiveGetter(); g != nil {
+		g.val = v
+		g.handed = true
+		q.env.wakeAt(q.env.now, g.p, g.gen)
+		return true
+	}
+	if q.limit == 0 || len(q.items) < q.limit {
+		q.items = append(q.items, v)
+		return true
+	}
+	return false
+}
+
+// Get removes and returns the oldest item, blocking while the queue is
+// empty. ok is false if the queue closed and drained.
+func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
+	for {
+		if len(q.items) > 0 {
+			v = q.items[0]
+			q.items = q.items[1:]
+			q.admitPutter()
+			return v, true
+		}
+		if pu := q.popLivePutter(); pu != nil {
+			pu.handed = true
+			q.env.wakeAt(q.env.now, pu.p, pu.gen)
+			return pu.val, true
+		}
+		if q.closed {
+			var zero T
+			return zero, false
+		}
+		w := &qwaiter[T]{p: p, gen: p.arm()}
+		q.getters = append(q.getters, w)
+		p.block()
+		if w.handed {
+			return w.val, true
+		}
+		if w.aborted {
+			var zero T
+			return zero, false
+		}
+		// Spurious wake (e.g. racing close+put); loop and re-check.
+	}
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if len(q.items) > 0 {
+		v = q.items[0]
+		q.items = q.items[1:]
+		q.admitPutter()
+		return v, true
+	}
+	if pu := q.popLivePutter(); pu != nil {
+		pu.handed = true
+		q.env.wakeAt(q.env.now, pu.p, pu.gen)
+		return pu.val, true
+	}
+	var zero T
+	return zero, false
+}
+
+// admitPutter moves one blocked putter's value into freed buffer space.
+func (q *Queue[T]) admitPutter() {
+	if q.limit == 0 || len(q.items) >= q.limit {
+		return
+	}
+	if pu := q.popLivePutter(); pu != nil {
+		q.items = append(q.items, pu.val)
+		pu.handed = true
+		q.env.wakeAt(q.env.now, pu.p, pu.gen)
+	}
+}
+
+// Close marks the queue closed: pending and future puts fail, getters drain
+// buffered items and then observe !ok.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, w := range q.getters {
+		if dead(w.p) {
+			continue
+		}
+		w.aborted = true
+		q.env.wakeAt(q.env.now, w.p, w.gen)
+	}
+	q.getters = nil
+	for _, w := range q.putters {
+		if dead(w.p) {
+			continue
+		}
+		w.aborted = true
+		q.env.wakeAt(q.env.now, w.p, w.gen)
+	}
+	q.putters = nil
+}

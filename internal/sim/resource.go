@@ -1,0 +1,156 @@
+package sim
+
+import "container/heap"
+
+// Resource models contended capacity (CPU cores, DMA channels, link slots).
+// Waiters are served highest-priority first, FIFO within a priority level.
+//
+// Kill-safety: a process killed while waiting is skipped when capacity
+// frees; a process killed at the instant it is granted releases the grant
+// as it unwinds. Holders killed after Acquire returns must arrange release
+// themselves (typically `defer r.Release()`), which runs during unwinding.
+type Resource struct {
+	env   *Env
+	cap   int
+	inUse int
+	q     rwaiterHeap
+	seq   uint64
+
+	// waitPeak tracks the maximum queue length observed (for monitoring).
+	waitPeak int
+}
+
+type rwaiter struct {
+	p       *Proc
+	gen     uint64
+	prio    int
+	seq     uint64
+	granted bool
+	index   int
+}
+
+type rwaiterHeap []*rwaiter
+
+func (h rwaiterHeap) Len() int { return len(h) }
+func (h rwaiterHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio // higher priority first
+	}
+	return h[i].seq < h[j].seq
+}
+func (h rwaiterHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *rwaiterHeap) Push(x any) {
+	w := x.(*rwaiter)
+	w.index = len(*h)
+	*h = append(*h, w)
+}
+func (h *rwaiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+// NewResource creates a resource with the given capacity (must be >= 1).
+func NewResource(e *Env, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{env: e, cap: capacity}
+}
+
+// Cap returns the resource capacity.
+func (r *Resource) Cap() int { return r.cap }
+
+// InUse returns the number of currently-held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Waiters returns the number of queued waiters (possibly including dead
+// entries awaiting cleanup).
+func (r *Resource) Waiters() int { return r.q.Len() }
+
+// MaxWaiterPrio returns the highest priority among live waiters; ok is
+// false if no live waiter is queued.
+func (r *Resource) MaxWaiterPrio() (prio int, ok bool) {
+	r.purgeDeadTop()
+	if r.q.Len() == 0 {
+		return 0, false
+	}
+	return r.q[0].prio, true
+}
+
+func dead(p *Proc) bool { return p.killed || p.terminated }
+
+// purgeDeadTop drops dead waiters from the head of the queue.
+func (r *Resource) purgeDeadTop() {
+	for r.q.Len() > 0 && dead(r.q[0].p) {
+		heap.Pop(&r.q)
+	}
+}
+
+// Acquire obtains one unit, blocking until available. Higher prio values
+// are served first.
+func (r *Resource) Acquire(p *Proc, prio int) {
+	if r.inUse < r.cap {
+		r.purgeDeadTop()
+		if r.q.Len() == 0 {
+			r.inUse++
+			return
+		}
+	}
+	r.seq++
+	w := &rwaiter{p: p, gen: p.arm(), prio: prio, seq: r.seq}
+	heap.Push(&r.q, w)
+	if r.q.Len() > r.waitPeak {
+		r.waitPeak = r.q.Len()
+	}
+	r.grantNext()
+	defer func() {
+		// If we were granted but are unwinding from a kill, return the unit.
+		if w.granted && p.killed {
+			r.release()
+		}
+	}()
+	p.block()
+}
+
+// TryAcquire obtains a unit without blocking; it reports success.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.cap {
+		r.purgeDeadTop()
+		if r.q.Len() == 0 {
+			r.inUse++
+			return true
+		}
+	}
+	return false
+}
+
+// Release returns one unit and grants it to the next live waiter, if any.
+func (r *Resource) Release() { r.release() }
+
+func (r *Resource) release() {
+	if r.inUse <= 0 {
+		panic("sim: resource released more than acquired")
+	}
+	r.inUse--
+	r.grantNext()
+}
+
+func (r *Resource) grantNext() {
+	for r.inUse < r.cap && r.q.Len() > 0 {
+		w := heap.Pop(&r.q).(*rwaiter)
+		if dead(w.p) {
+			continue
+		}
+		w.granted = true
+		r.inUse++
+		r.env.wakeAt(r.env.now, w.p, w.gen)
+	}
+}

@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"linefs/internal/rdma"
+	"linefs/internal/sim"
+)
+
+// Iperf is a background network traffic generator (§5.4 runs iperf3 to
+// contend for network bandwidth during Tencent Sort). It streams messages
+// from one port to a sink on another as fast as the shared egress allows.
+type Iperf struct {
+	proc  *sim.Proc
+	sink  *sim.Proc
+	Bytes int64
+}
+
+// StartIperf launches a stream of msgSize messages from -> to. Stop kills
+// it.
+func StartIperf(env *sim.Env, from, to *rdma.NIC, msgSize int) *Iperf {
+	ip := &Iperf{}
+	q := sim.NewQueue[*rdma.Msg](env, 64)
+	to.Register("iperf-sink", q)
+	ip.sink = env.Go("iperf-sink", func(p *sim.Proc) {
+		for {
+			if _, ok := q.Get(p); !ok {
+				return
+			}
+		}
+	})
+	conn := rdma.Dial(from, to, "iperf-sink", false)
+	ip.proc = env.Go("iperf", func(p *sim.Proc) {
+		for {
+			if err := conn.Send(p, "data", nil, msgSize); err != nil {
+				return
+			}
+			ip.Bytes += int64(msgSize)
+		}
+	})
+	return ip
+}
+
+// Stop terminates the stream.
+func (ip *Iperf) Stop() {
+	if ip.proc != nil {
+		ip.proc.Kill()
+	}
+	if ip.sink != nil {
+		ip.sink.Kill()
+	}
+}

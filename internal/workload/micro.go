@@ -1,0 +1,102 @@
+// Package workload implements the paper's benchmark workloads over the DFS
+// client API: the write/read/latency microbenchmarks of §5.2, the PARSEC
+// streamcluster CPU-intensive co-runner, the Filebench fileserver and
+// varmail profiles of §5.3, iperf-style background network traffic, and
+// the Tencent Sort batch job of §5.4 with a gensort-like record generator
+// whose compressibility is controllable.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"linefs/internal/dfs"
+	"linefs/internal/sim"
+	"linefs/internal/stats"
+)
+
+// WriteBench sequentially writes total bytes in ioSize units to path and
+// fsyncs at the end (§5.2.1's throughput microbenchmark). It returns the
+// achieved goodput in bytes/sec of virtual time.
+func WriteBench(p *sim.Proc, c *dfs.Client, path string, total, ioSize int, seed int64) (float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	fd, err := c.Create(p, path)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close(p, fd)
+	buf := make([]byte, ioSize)
+	rng.Read(buf)
+	start := p.Now()
+	for off := 0; off < total; off += ioSize {
+		if _, err := c.WriteAt(p, fd, uint64(off), buf); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.Fsync(p, fd); err != nil {
+		return 0, err
+	}
+	elapsed := time.Duration(p.Now() - start)
+	if elapsed <= 0 {
+		return 0, nil
+	}
+	return float64(total) / elapsed.Seconds(), nil
+}
+
+// ReadBench reads a previously-written file of total bytes in ioSize units,
+// sequentially or at uniformly random offsets (§5.2.2). Returns bytes/sec.
+func ReadBench(p *sim.Proc, c *dfs.Client, path string, total, ioSize int, random bool, seed int64) (float64, error) {
+	fd, err := c.Open(p, path, false)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close(p, fd)
+	rng := rand.New(rand.NewSource(seed))
+	buf := make([]byte, ioSize)
+	nOps := total / ioSize
+	start := p.Now()
+	for i := 0; i < nOps; i++ {
+		off := uint64(i * ioSize)
+		if random {
+			off = uint64(rng.Intn(nOps)) * uint64(ioSize)
+		}
+		n, err := c.ReadAt(p, fd, off, buf)
+		if err != nil {
+			return 0, err
+		}
+		if n != ioSize {
+			return 0, fmt.Errorf("workload: short read %d at %d", n, off)
+		}
+	}
+	elapsed := time.Duration(p.Now() - start)
+	if elapsed <= 0 {
+		return 0, nil
+	}
+	return float64(total) / elapsed.Seconds(), nil
+}
+
+// LatencyBench issues nOps writes of ioSize each followed by fsync
+// (§5.2.5) and returns the per-operation latency distribution.
+func LatencyBench(p *sim.Proc, c *dfs.Client, path string, nOps, ioSize int, seed int64) (*stats.Latency, error) {
+	rng := rand.New(rand.NewSource(seed))
+	fd, err := c.Create(p, path)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close(p, fd)
+	buf := make([]byte, ioSize)
+	rng.Read(buf)
+	lat := &stats.Latency{}
+	for i := 0; i < nOps; i++ {
+		start := p.Now()
+		if _, err := c.WriteAt(p, fd, uint64(i*ioSize), buf); err != nil {
+			return lat, err
+		}
+		if err := c.Fsync(p, fd); err != nil {
+			return lat, err
+		}
+		lat.Add(time.Duration(p.Now() - start))
+	}
+	return lat, nil
+}

@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"linefs/internal/hw"
+	"linefs/internal/sim"
+)
+
+// Streamcluster mimics the PARSEC streamcluster benchmark the paper uses as
+// a CPU-intensive co-runner (§5.1): a fixed amount of compute split across
+// threads that synchronize at barriers each round. Barriers make the job
+// straggler-sensitive — losing one core to DFS work slows the whole round,
+// exactly the interference pathology of challenge C1.
+type Streamcluster struct {
+	CPU     *hw.CPU
+	Threads int
+	// Rounds and RoundWork define the total computation: every thread does
+	// RoundWork of reference-core time per round, then waits at a barrier.
+	Rounds    int
+	RoundWork time.Duration
+	// Prio is the job's scheduling priority.
+	Prio int
+
+	// MemLink, when set, models the job's memory-bandwidth demand: every
+	// round each thread streams BytesPerRound through the machine's memory
+	// system — the same shared path DFS data movement uses. This is the
+	// channel through which a host-based DFS slows a memory-bound
+	// co-runner far more than core arithmetic alone suggests (§2.1 C1).
+	MemLink       *hw.Link
+	BytesPerRound int
+
+	// Done triggers when all threads finish; Elapsed is the execution time.
+	Done    *sim.Event
+	Elapsed time.Duration
+}
+
+// NewStreamcluster sizes a job: with Threads equal to the machine's core
+// count, the solo execution time is Rounds*RoundWork.
+func NewStreamcluster(cpu *hw.CPU, threads, rounds int, roundWork time.Duration, prio int) *Streamcluster {
+	return &Streamcluster{
+		CPU:       cpu,
+		Threads:   threads,
+		Rounds:    rounds,
+		RoundWork: roundWork,
+		Prio:      prio,
+	}
+}
+
+// SoloTime returns the interference-free execution time (threads <= cores).
+func (s *Streamcluster) SoloTime() time.Duration {
+	perRound := s.RoundWork
+	if s.Threads > s.CPU.NumCores() {
+		waves := (s.Threads + s.CPU.NumCores() - 1) / s.CPU.NumCores()
+		perRound = time.Duration(waves) * s.RoundWork
+	}
+	return time.Duration(s.Rounds) * perRound
+}
+
+// Start launches the job's threads in env.
+func (s *Streamcluster) Start(env *sim.Env) {
+	s.Done = sim.NewEvent(env)
+	start := env.Now()
+	remaining := s.Threads
+	barrier := newBarrier(env, s.Threads)
+	for t := 0; t < s.Threads; t++ {
+		env.Go(fmt.Sprintf("streamcluster/%d", t), func(p *sim.Proc) {
+			for r := 0; r < s.Rounds; r++ {
+				s.CPU.Compute(p, s.RoundWork, s.Prio, "app")
+				if s.MemLink != nil && s.BytesPerRound > 0 {
+					s.MemLink.Transfer(p, s.BytesPerRound, s.Prio)
+				}
+				barrier.wait(p)
+			}
+			remaining--
+			if remaining == 0 {
+				s.Elapsed = time.Duration(p.Now() - start)
+				s.Done.Trigger(nil)
+			}
+		})
+	}
+}
+
+// barrier is a cyclic barrier for simulation processes.
+type barrier struct {
+	env     *sim.Env
+	n       int
+	waiting int
+	gen     *sim.Event
+}
+
+func newBarrier(env *sim.Env, n int) *barrier {
+	return &barrier{env: env, n: n, gen: sim.NewEvent(env)}
+}
+
+func (b *barrier) wait(p *sim.Proc) {
+	b.waiting++
+	if b.waiting == b.n {
+		b.waiting = 0
+		ev := b.gen
+		b.gen = sim.NewEvent(b.env)
+		ev.Trigger(nil)
+		return
+	}
+	p.Wait(b.gen)
+}

@@ -1,0 +1,276 @@
+// Package linefs is a from-scratch reproduction of LineFS (SOSP '21):
+// a SmartNIC-offloaded distributed file system with client-local persistent
+// memory, built over a deterministic discrete-event simulation of the
+// paper's testbed (PM, PCIe, BlueField-style SmartNICs, a 25 GbE RDMA
+// fabric).
+//
+// The package exposes a small facade: construct a simulated Cluster of one
+// of the evaluated systems (LineFS, LineFS without pipeline parallelism, or
+// the Assise baselines), attach clients, and drive them from simulation
+// processes with a POSIX-like API:
+//
+//	cl, _ := linefs.New(linefs.Defaults())
+//	cl.Run(func(p *linefs.Proc) {
+//	    c, _ := cl.Attach(p, 0)
+//	    fd, _ := c.Create(p, "/hello")
+//	    c.WriteAt(p, fd, 0, []byte("persist and publish"))
+//	    c.Fsync(p, fd) // durable on all replicas
+//	})
+//
+// Everything the paper's evaluation measures is regenerable through the
+// linefs-bench command (internal/bench); see EXPERIMENTS.md.
+package linefs
+
+import (
+	"fmt"
+	"time"
+
+	"linefs/internal/assise"
+	"linefs/internal/core"
+	"linefs/internal/dfs"
+	"linefs/internal/node"
+	"linefs/internal/sim"
+)
+
+// System selects which of the paper's evaluated systems to build.
+type System int
+
+// Systems under test (§5.1).
+const (
+	// LineFS is the full system: NICFS pipelines on the SmartNIC.
+	LineFS System = iota
+	// LineFSNotParallel disables pipeline parallelism (the ablation).
+	LineFSNotParallel
+	// Assise is the baseline in pessimistic mode.
+	Assise
+	// AssiseBgRepl adds background replication threads.
+	AssiseBgRepl
+	// AssiseHyperloop offloads replication to the RDMA NIC.
+	AssiseHyperloop
+)
+
+func (s System) String() string {
+	switch s {
+	case LineFS:
+		return "LineFS"
+	case LineFSNotParallel:
+		return "LineFS-NotParallel"
+	case Assise:
+		return "Assise"
+	case AssiseBgRepl:
+		return "Assise-BgRepl"
+	case AssiseHyperloop:
+		return "Assise+Hyperloop"
+	}
+	return "unknown"
+}
+
+// Proc is a simulation process; every file system call takes the calling
+// process so its time cost lands on the right timeline.
+type Proc = sim.Proc
+
+// Client is a per-process file system handle (the paper's LibFS).
+type Client = dfs.Client
+
+// Options configure a cluster.
+type Options struct {
+	// System selects the DFS under test.
+	System System
+	// Nodes is the cluster size; Replicas the chain length beyond the
+	// primary.
+	Nodes    int
+	Replicas int
+	// MaxClients bounds attached clients (sizes the PM log slots).
+	MaxClients int
+	// VolSize / LogSize / ChunkSize control the PM layout.
+	VolSize   int64
+	LogSize   int64
+	ChunkSize int
+	// Compression enables LineFS's replication compression stage.
+	Compression bool
+	// Seed makes the simulation deterministic.
+	Seed int64
+}
+
+// Defaults returns a three-node cluster of full LineFS at a
+// simulation-friendly scale.
+func Defaults() Options {
+	return Options{
+		System:     LineFS,
+		Nodes:      3,
+		Replicas:   2,
+		MaxClients: 8,
+		VolSize:    512 << 20,
+		LogSize:    32 << 20,
+		ChunkSize:  4 << 20,
+		Seed:       1,
+	}
+}
+
+// Cluster is a running simulated deployment of one system.
+type Cluster struct {
+	opts Options
+	env  *sim.Env
+
+	lf *core.Cluster
+	as *assise.Cluster
+}
+
+// New builds and starts a cluster.
+func New(opts Options) (*Cluster, error) {
+	env := sim.NewEnv(opts.Seed)
+	c := &Cluster{opts: opts, env: env}
+	spec := node.DefaultSpec()
+	spec.PMSize = opts.VolSize + int64(opts.MaxClients)*opts.LogSize + (64 << 20)
+
+	switch opts.System {
+	case LineFS, LineFSNotParallel:
+		cfg := core.DefaultConfig()
+		cfg.Spec = spec
+		cfg.Nodes = opts.Nodes
+		cfg.Replicas = opts.Replicas
+		cfg.MaxClients = opts.MaxClients
+		cfg.VolSize = opts.VolSize
+		cfg.LogSize = opts.LogSize
+		cfg.ChunkSize = opts.ChunkSize
+		cfg.Parallel = opts.System == LineFS
+		cfg.Compress = opts.Compression
+		cl, err := core.NewCluster(env, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cl.Start()
+		c.lf = cl
+	default:
+		cfg := assise.DefaultConfig()
+		cfg.Spec = spec
+		cfg.Nodes = opts.Nodes
+		cfg.Replicas = opts.Replicas
+		cfg.MaxClients = opts.MaxClients
+		cfg.VolSize = opts.VolSize
+		cfg.LogSize = opts.LogSize
+		cfg.ChunkSize = opts.ChunkSize
+		switch opts.System {
+		case AssiseBgRepl:
+			cfg.Mode = assise.BgRepl
+		case AssiseHyperloop:
+			cfg.Mode = assise.Hyperloop
+		default:
+			cfg.Mode = assise.Pessimistic
+		}
+		cl, err := assise.NewCluster(env, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cl.Start()
+		c.as = cl
+	}
+	return c, nil
+}
+
+// Env exposes the simulation environment for advanced orchestration
+// (spawning co-runner processes, custom fault schedules).
+func (c *Cluster) Env() *sim.Env { return c.env }
+
+// Attach creates a client process handle on the given machine.
+func (c *Cluster) Attach(p *Proc, machine int) (*Client, error) {
+	if c.lf != nil {
+		a, err := c.lf.Attach(p, machine)
+		if err != nil {
+			return nil, err
+		}
+		return a.Client, nil
+	}
+	a, err := c.as.Attach(p, machine)
+	if err != nil {
+		return nil, err
+	}
+	return a.Client, nil
+}
+
+// Run executes fn as an application process and drives the simulation
+// until it returns (bounded by limit if > 0, else one hour of virtual
+// time). It reports whether fn completed.
+func (c *Cluster) Run(fn func(p *Proc)) bool { return c.RunLimited(fn, 0) }
+
+// RunLimited is Run with an explicit virtual-time bound.
+func (c *Cluster) RunLimited(fn func(p *Proc), limit time.Duration) bool {
+	if limit <= 0 {
+		limit = time.Hour
+	}
+	done := false
+	c.env.Go("app", func(p *sim.Proc) {
+		fn(p)
+		done = true
+	})
+	deadline := time.Duration(c.env.Now()) + limit
+	for time.Duration(c.env.Now()) < deadline && !done {
+		c.env.RunFor(50 * time.Millisecond)
+	}
+	return done
+}
+
+// RunFor advances virtual time by d (background activity continues).
+func (c *Cluster) RunFor(d time.Duration) { c.env.RunFor(d) }
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() time.Duration { return time.Duration(c.env.Now()) }
+
+// CrashHost fails machine i's host OS (LineFS only keeps serving through
+// its SmartNIC; see §3.5).
+func (c *Cluster) CrashHost(i int) error {
+	if c.lf == nil {
+		return fmt.Errorf("linefs: host crash injection is implemented for LineFS clusters")
+	}
+	c.lf.CrashHost(i)
+	return nil
+}
+
+// RecoverHost reboots machine i's host OS.
+func (c *Cluster) RecoverHost(i int) error {
+	if c.lf == nil {
+		return fmt.Errorf("linefs: host recovery is implemented for LineFS clusters")
+	}
+	c.lf.RecoverHost(i)
+	return nil
+}
+
+// Isolated reports whether machine i's NICFS is running in isolated mode
+// (host kernel worker unreachable).
+func (c *Cluster) Isolated(i int) bool {
+	if c.lf == nil {
+		return false
+	}
+	return c.lf.NICs[i].Isolated
+}
+
+// Stats summarizes cluster-level counters.
+type Stats struct {
+	// NetworkBytes is the total volume put on the cluster fabric.
+	NetworkBytes int64
+	// PublishedBytes counts data published to public PM across nodes.
+	PublishedBytes int64
+	// ReplicatedRawBytes and ReplicatedWireBytes report replication volume
+	// before and after compression (LineFS).
+	ReplicatedRawBytes  int64
+	ReplicatedWireBytes int64
+}
+
+// Stats returns current cluster counters.
+func (c *Cluster) Stats() Stats {
+	var s Stats
+	if c.lf != nil {
+		s.NetworkBytes = c.lf.Fabric.Total.Total()
+		for _, n := range c.lf.NICs {
+			s.PublishedBytes += n.PubBytes
+			s.ReplicatedRawBytes += n.RepBytes
+			s.ReplicatedWireBytes += n.RepWireBytes
+		}
+		return s
+	}
+	s.NetworkBytes = c.as.Fabric.Total.Total()
+	for _, sh := range c.as.Shared {
+		s.PublishedBytes += sh.DigestedBytes
+	}
+	return s
+}

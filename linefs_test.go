@@ -1,0 +1,121 @@
+package linefs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestQuickstartAllSystems(t *testing.T) {
+	for _, sys := range []System{LineFS, LineFSNotParallel, Assise, AssiseBgRepl, AssiseHyperloop} {
+		t.Run(sys.String(), func(t *testing.T) {
+			opts := Defaults()
+			opts.System = sys
+			opts.VolSize = 256 << 20
+			opts.LogSize = 16 << 20
+			opts.MaxClients = 2
+			cl, err := New(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload := bytes.Repeat([]byte("public api"), 2000)
+			ok := cl.Run(func(p *Proc) {
+				c, err := cl.Attach(p, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fd, err := c.Create(p, "/api.txt")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := c.WriteAt(p, fd, 0, payload); err != nil {
+					t.Fatal(err)
+				}
+				if err := c.Fsync(p, fd); err != nil {
+					t.Fatal(err)
+				}
+				got := make([]byte, len(payload))
+				n, err := c.ReadAt(p, fd, 0, got)
+				if err != nil || n != len(payload) || !bytes.Equal(got, payload) {
+					t.Fatalf("read back n=%d err=%v", n, err)
+				}
+			})
+			if !ok {
+				t.Fatal("workload did not complete")
+			}
+		})
+	}
+}
+
+func TestPublicStats(t *testing.T) {
+	opts := Defaults()
+	opts.VolSize = 256 << 20
+	opts.LogSize = 16 << 20
+	opts.MaxClients = 1
+	cl, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(func(p *Proc) {
+		c, _ := cl.Attach(p, 0)
+		fd, _ := c.Create(p, "/s")
+		c.WriteAt(p, fd, 0, make([]byte, 1<<20))
+		c.Fsync(p, fd)
+	})
+	cl.RunFor(2 * time.Second)
+	s := cl.Stats()
+	if s.NetworkBytes < 1<<20 {
+		t.Fatalf("network bytes = %d, want >= 1MiB (replication)", s.NetworkBytes)
+	}
+	if s.ReplicatedRawBytes < 1<<20 {
+		t.Fatalf("replicated bytes = %d", s.ReplicatedRawBytes)
+	}
+}
+
+func TestPublicCrashRecovery(t *testing.T) {
+	opts := Defaults()
+	opts.VolSize = 256 << 20
+	opts.LogSize = 16 << 20
+	opts.MaxClients = 1
+	cl, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := cl.Run(func(p *Proc) {
+		c, _ := cl.Attach(p, 0)
+		fd, _ := c.Create(p, "/ha")
+		c.WriteAt(p, fd, 0, make([]byte, 64<<10))
+		c.Fsync(p, fd)
+	})
+	if !ok {
+		t.Fatal("setup failed")
+	}
+	if err := cl.CrashHost(1); err != nil {
+		t.Fatal(err)
+	}
+	cl.RunFor(2 * time.Second)
+	if !cl.Isolated(1) {
+		t.Fatal("NICFS not isolated after host crash")
+	}
+	if err := cl.RecoverHost(1); err != nil {
+		t.Fatal(err)
+	}
+	cl.RunFor(2 * time.Second)
+	if cl.Isolated(1) {
+		t.Fatal("NICFS still isolated after recovery")
+	}
+}
+
+func TestCrashInjectionOnAssiseRejected(t *testing.T) {
+	opts := Defaults()
+	opts.System = Assise
+	opts.VolSize = 256 << 20
+	opts.LogSize = 16 << 20
+	cl, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.CrashHost(1); err == nil {
+		t.Fatal("expected error: Assise has no isolated-NIC failover")
+	}
+}
