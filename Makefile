@@ -1,0 +1,41 @@
+# Developer entry points. `make ci` is the gate every change must pass;
+# `make test` is the full (slow) suite; `make bench` regenerates the DES
+# kernel microbenchmark numbers.
+
+GO ?= go
+
+.PHONY: ci vet build test-short test race-sim test-full bench kernelbench clean
+
+ci: vet build test-short race-sim
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# Fast development loop: skips the ~30s TencentSort workload and the
+# baseline cross-check suites. Target: under a minute on one core.
+test-short:
+	$(GO) test -short ./...
+
+# The simulation kernel hands control between goroutines; the race detector
+# over the sim package guards the handoff protocol.
+race-sim:
+	$(GO) test -race -short ./internal/sim/...
+
+# Full suite (what the roadmap calls tier-1).
+test:
+	$(GO) test ./...
+
+# DES kernel microbenchmarks (Go benchmark form, with allocation counts).
+kernelbench:
+	$(GO) test -bench=Kernel -benchmem -run='^$$' ./internal/sim/
+
+# Regenerate BENCH_kernel.json (baseline vs current events/sec).
+bench:
+	$(GO) build -o linefs-bench ./cmd/linefs-bench
+	./linefs-bench -kernelbench
+
+clean:
+	rm -f linefs-bench

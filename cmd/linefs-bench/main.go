@@ -5,14 +5,21 @@
 //
 //	linefs-bench -exp fig4            # one experiment
 //	linefs-bench -exp all             # the full suite, paper order
+//	linefs-bench -exp all -j 4        # four experiments concurrently
 //	linefs-bench -exp table3 -full    # paper-scale sizes (slow)
 //	linefs-bench -list                # enumerate experiments
+//	linefs-bench -kernelbench         # DES kernel microbench -> BENCH_kernel.json
+//
+// Every experiment owns a self-contained sim.Env with a deterministic seed,
+// so -j N produces byte-identical tables to -j 1; only wall-clock changes.
+// Per-experiment timing goes to stderr to keep stdout reproducible.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -21,10 +28,13 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment name (table1..table3, fig4..fig10) or 'all'")
-		full = flag.Bool("full", false, "run at paper-scale sizes instead of quick scale")
-		seed = flag.Int64("seed", 42, "simulation seed")
-		list = flag.Bool("list", false, "list experiments and exit")
+		exp    = flag.String("exp", "all", "experiment name (table1..table3, fig4..fig10) or 'all'")
+		full   = flag.Bool("full", false, "run at paper-scale sizes instead of quick scale")
+		seed   = flag.Int64("seed", 42, "simulation seed")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		j      = flag.Int("j", runtime.GOMAXPROCS(0), "experiments to run concurrently")
+		kbench = flag.Bool("kernelbench", false, "run DES kernel microbenchmarks and write BENCH_kernel.json")
+		kout   = flag.String("kernelbench-out", "BENCH_kernel.json", "output path for -kernelbench")
 	)
 	flag.Parse()
 
@@ -32,6 +42,25 @@ func main() {
 		for _, e := range append(bench.All(), bench.Ablations()...) {
 			fmt.Printf("  %-12s %s\n", e.Name, e.Desc)
 		}
+		return
+	}
+
+	if *kbench {
+		cur, err := bench.WriteKernelBench(*kout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kernelbench: %v\n", err)
+			os.Exit(1)
+		}
+		base := bench.KernelBaseline
+		fmt.Printf("kernel events/sec:          %12.0f (baseline %12.0f, %.1fx)\n",
+			cur.EventsPerSec, base.EventsPerSec, cur.EventsPerSec/base.EventsPerSec)
+		fmt.Printf("kernel handoff events/sec:  %12.0f (baseline %12.0f, %.1fx)\n",
+			cur.HandoffEventsPerSec, base.HandoffEventsPerSec, cur.HandoffEventsPerSec/base.HandoffEventsPerSec)
+		fmt.Printf("resource grants/sec:        %12.0f (baseline %12.0f, %.1fx)\n",
+			cur.ResourceGrantsPerSec, base.ResourceGrantsPerSec, cur.ResourceGrantsPerSec/base.ResourceGrantsPerSec)
+		fmt.Printf("queue put+get pairs/sec:    %12.0f (baseline %12.0f, %.1fx)\n",
+			cur.QueueOpsPerSec, base.QueueOpsPerSec, cur.QueueOpsPerSec/base.QueueOpsPerSec)
+		fmt.Printf("wrote %s\n", *kout)
 		return
 	}
 
@@ -54,14 +83,15 @@ func main() {
 		}
 	}
 
-	for _, e := range toRun {
-		start := time.Now()
-		res, err := e.Run(opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
+	start := time.Now()
+	results, errs := bench.RunAll(toRun, opts, *j)
+	for i, e := range toRun {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, errs[i])
 			os.Exit(1)
 		}
-		res.Notes = append(res.Notes, fmt.Sprintf("wall-clock %s", time.Since(start).Round(time.Millisecond)))
-		res.Print(os.Stdout)
+		results[i].Print(os.Stdout)
 	}
+	fmt.Fprintf(os.Stderr, "ran %d experiment(s) with -j %d in %s\n",
+		len(toRun), *j, time.Since(start).Round(time.Millisecond))
 }

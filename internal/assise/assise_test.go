@@ -97,6 +97,7 @@ func TestBgReplWriteFsyncRead(t *testing.T)      { testWriteFsyncRead(t, BgRepl)
 func TestHyperloopWriteFsyncRead(t *testing.T)   { testWriteFsyncRead(t, Hyperloop) }
 
 func TestDigestionPublishesAndReclaims(t *testing.T) {
+	t.Parallel()
 	cfg := testConfig(Pessimistic)
 	env, cl := newTestCluster(t, cfg)
 	total := 4 * cfg.ChunkSize
@@ -129,6 +130,7 @@ func TestDigestionPublishesAndReclaims(t *testing.T) {
 }
 
 func TestReplicaDigestion(t *testing.T) {
+	t.Parallel()
 	cfg := testConfig(BgRepl)
 	env, cl := newTestCluster(t, cfg)
 	payload := bytes.Repeat([]byte{0x42}, 2*cfg.ChunkSize)
@@ -154,6 +156,7 @@ func TestReplicaDigestion(t *testing.T) {
 }
 
 func TestHyperloopReplicaContent(t *testing.T) {
+	t.Parallel()
 	cfg := testConfig(Hyperloop)
 	env, cl := newTestCluster(t, cfg)
 	payload := bytes.Repeat([]byte{0x77}, 2*cfg.ChunkSize)
@@ -183,6 +186,7 @@ func TestHyperloopReplicaContent(t *testing.T) {
 }
 
 func TestHyperloopCreditsRefill(t *testing.T) {
+	t.Parallel()
 	cfg := testConfig(Hyperloop)
 	cfg.HyperloopCredits = 3
 	cfg.HyperloopPost = time.Millisecond
@@ -205,6 +209,7 @@ func TestHyperloopCreditsRefill(t *testing.T) {
 }
 
 func TestNamespaceOpsAssise(t *testing.T) {
+	t.Parallel()
 	env, cl := newTestCluster(t, testConfig(Pessimistic))
 	run(t, env, 30*time.Second, func(p *sim.Proc) {
 		l, _ := cl.Attach(p, 0)
@@ -229,6 +234,7 @@ func TestNamespaceOpsAssise(t *testing.T) {
 }
 
 func TestTwoClientsSeparateFiles(t *testing.T) {
+	t.Parallel()
 	env, cl := newTestCluster(t, testConfig(BgRepl))
 	run(t, env, 60*time.Second, func(p *sim.Proc) {
 		a, _ := cl.Attach(p, 0)

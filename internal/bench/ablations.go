@@ -67,7 +67,7 @@ func AblCoalesce(o Options) (*Result, error) {
 			return 0, 0, err
 		}
 		defer env.Shutdown()
-		done := 0
+		g := newGroup(env, 1)
 		env.Go("bench", func(p *sim.Proc) {
 			a, _ := cl.Attach(p, 0)
 			payload := bytes.Repeat([]byte{0xCC}, 64<<10)
@@ -85,9 +85,9 @@ func AblCoalesce(o Options) (*Result, error) {
 			kfd, _ := a.Create(p, "/keepalive/f")
 			a.Fsync(p, kfd)
 			p.Sleep(2 * time.Second)
-			done++
+			g.done()
 		})
-		if !waitAll(env, &done, 1, 600*time.Second) {
+		if !g.wait(600 * time.Second) {
 			return 0, 0, fmt.Errorf("abl-coalesce stalled")
 		}
 		return cl.NICs[0].PubBytes, cl.NICs[0].CoalescedBytes, nil
@@ -128,16 +128,16 @@ func AblDirectWrite(o Options) (*Result, error) {
 		}
 		defer env.Shutdown()
 		var mean time.Duration
-		done := 0
+		g := newGroup(env, 1)
 		env.Go("bench", func(p *sim.Proc) {
 			a, _ := cl.Attach(p, 0)
 			lat, err := workload.LatencyBench(p, a.Client, "/lat", 1500, 16<<10, o.Seed)
 			if err == nil {
 				mean = lat.Mean()
 			}
-			done++
+			g.done()
 		})
-		if !waitAll(env, &done, 1, 600*time.Second) {
+		if !g.wait(600 * time.Second) {
 			return 0, fmt.Errorf("abl-direct stalled")
 		}
 		return mean, nil
@@ -177,7 +177,7 @@ func AblScaling(o Options) (*Result, error) {
 		cl.Start()
 		defer env.Shutdown()
 		// Compressible payload keeps the compression stage busy.
-		done := 0
+		g := newGroup(env, 1)
 		var tput float64
 		var scaled int
 		env.Go("bench", func(p *sim.Proc) {
@@ -194,10 +194,10 @@ func AblScaling(o Options) (*Result, error) {
 			if el > 0 {
 				tput = float64(total) / el.Seconds()
 			}
-			done++
+			g.done()
 		})
 		_ = budget
-		if !waitAll(env, &done, 1, 1200*time.Second) {
+		if !g.wait(1200 * time.Second) {
 			return 0, 0, fmt.Errorf("abl-scaling stalled")
 		}
 		return tput, scaled, nil
@@ -217,7 +217,7 @@ func AblScaling(o Options) (*Result, error) {
 		return nil, err
 	}
 	var npTput float64
-	done := 0
+	g := newGroup(env, 1)
 	env.Go("bench", func(p *sim.Proc) {
 		a, _ := cl.Attach(p, 0)
 		fd, _ := a.Create(p, "/c")
@@ -232,9 +232,9 @@ func AblScaling(o Options) (*Result, error) {
 		if el > 0 {
 			npTput = float64(total) / el.Seconds()
 		}
-		done++
+		g.done()
 	})
-	ok := waitAll(env, &done, 1, 1200*time.Second)
+	ok := g.wait(1200 * time.Second)
 	env.Shutdown()
 	if !ok {
 		return nil, fmt.Errorf("abl-scaling NP stalled")

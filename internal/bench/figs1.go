@@ -86,22 +86,21 @@ type writerClient struct {
 // measureWriters launches the writers and returns aggregate bytes/sec from
 // common start to the last fsync return.
 func measureWriters(env *sim.Env, nProcs, perProc int, attach func(p *sim.Proc, i int) writerClient) (float64, error) {
-	done := 0
+	g := newGroup(env, nProcs)
 	var end sim.Time
 	failed := false
 	for i := 0; i < nProcs; i++ {
 		idx := i
 		env.Go("bench", func(p *sim.Proc) {
+			defer g.done()
 			w := attach(p, idx)
 			if w.c == nil {
 				failed = true
-				done++
 				return
 			}
 			fd, err := w.c.Create(p, fmt.Sprintf("/w%d", idx))
 			if err != nil {
 				failed = true
-				done++
 				return
 			}
 			buf := make([]byte, 16<<10)
@@ -111,23 +110,20 @@ func measureWriters(env *sim.Env, nProcs, perProc int, attach func(p *sim.Proc, 
 			for off := 0; off < perProc; off += len(buf) {
 				if _, err := w.c.WriteAt(p, fd, uint64(off), buf); err != nil {
 					failed = true
-					done++
 					return
 				}
 			}
 			if err := w.c.Fsync(p, fd); err != nil {
 				failed = true
-				done++
 				return
 			}
 			if p.Now() > end {
 				end = p.Now()
 			}
-			done++
 		})
 	}
-	if !waitAll(env, &done, nProcs, 1200*time.Second) {
-		return 0, fmt.Errorf("bench: writers stalled (%d/%d)", done, nProcs)
+	if !g.wait(1200 * time.Second) {
+		return 0, fmt.Errorf("bench: writers stalled (%d/%d)", g.n, nProcs)
 	}
 	if failed {
 		return 0, fmt.Errorf("bench: a writer failed")
@@ -200,7 +196,7 @@ func Fig5(o Options) (*Result, error) {
 		return nil, err
 	}
 	defer env.Shutdown()
-	done := 0
+	g := newGroup(env, 1)
 	env.Go("bench", func(p *sim.Proc) {
 		a, _ := cl.Attach(p, 0)
 		fd, _ := a.Create(p, "/chunks")
@@ -211,9 +207,9 @@ func Fig5(o Options) (*Result, error) {
 		}
 		a.Fsync(p, fd)
 		p.Sleep(3 * time.Second)
-		done++
+		g.done()
 	})
-	if !waitAll(env, &done, 1, 600*time.Second) {
+	if !g.wait(600 * time.Second) {
 		return nil, fmt.Errorf("fig5: run stalled")
 	}
 	st := cl.NICs[0].StageTimes
@@ -280,10 +276,8 @@ func Fig6(o Options) (*Result, error) {
 			return outcome{}, fmt.Errorf("%s: %w", name, err)
 		}
 		// Let the co-runners finish.
-		for i := 0; i < 600 && !(scs[0].Done.Triggered() && scs[1].Done.Triggered()); i++ {
-			env.RunFor(100 * time.Millisecond)
-		}
-		if !scs[0].Done.Triggered() || !scs[1].Done.Triggered() {
+		deadline := time.Duration(env.Now()) + 60*time.Second
+		if !waitEvents(env, deadline, scs[0].Done, scs[1].Done) {
 			return outcome{}, fmt.Errorf("%s: streamcluster stalled", name)
 		}
 		return outcome{scPrimary: scs[0].Elapsed, scReplica: scs[1].Elapsed, tput: tput}, nil
@@ -419,10 +413,7 @@ func Fig7(o Options) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fig7 %v: %w", mode, err)
 		}
-		for i := 0; i < 600 && !sc.Done.Triggered(); i++ {
-			env.RunFor(100 * time.Millisecond)
-		}
-		stalled := !sc.Done.Triggered()
+		stalled := !waitEvents(env, time.Duration(env.Now())+60*time.Second, sc.Done)
 		env.Shutdown()
 		if stalled {
 			return nil, fmt.Errorf("fig7 %v: streamcluster stalled", mode)

@@ -70,8 +70,9 @@ func Fig8a(o Options) (*Result, error) {
 		}
 		defer env.Shutdown()
 		out := outcome{}
-		done := 0
+		g := newGroup(env, 1)
 		env.Go("dbbench", func(p *sim.Proc) {
+			defer g.done()
 			c, err := mk(p)
 			if err != nil {
 				return
@@ -108,9 +109,8 @@ func Fig8a(o Options) (*Result, error) {
 			if lat, err := kvstore.ReadHot(p, db1, cfg); err == nil {
 				out["readhot"] = lat.Mean()
 			}
-			done++
 		})
-		if !waitAll(env, &done, 1, 3600*time.Second) {
+		if !g.wait(3600 * time.Second) {
 			return nil, fmt.Errorf("fig8a: %s stalled", system)
 		}
 		return out, nil
@@ -153,8 +153,9 @@ func Fig8b(o Options) (*Result, error) {
 		}
 		defer env.Shutdown()
 		var rate float64
-		done := 0
+		g := newGroup(env, 1)
 		env.Go("filebench", func(p *sim.Proc) {
+			defer g.done()
 			c, err := mk(p)
 			if err != nil {
 				return
@@ -166,9 +167,8 @@ func Fig8b(o Options) (*Result, error) {
 			if err == nil {
 				rate = res.OpsPerSec
 			}
-			done++
 		})
-		if !waitAll(env, &done, 1, 3600*time.Second) {
+		if !g.wait(3600 * time.Second) {
 			return 0, fmt.Errorf("fig8b: %s/%v stalled", system, profile)
 		}
 		return rate, nil
@@ -239,9 +239,10 @@ func Fig9(o Options) (*Result, error) {
 			}
 			netTotal = func() int64 { return cl.Fabric.Total.Total() - ip.Bytes }
 			var clients []*dfs.Client
-			done := 0
+			g := newGroup(env, 1)
 			var oc outcome
 			env.Go("sort", func(p *sim.Proc) {
+				defer g.done()
 				for i := 0; i < 8; i++ {
 					c, err := mk(p)
 					if err != nil {
@@ -255,9 +256,8 @@ func Fig9(o Options) (*Result, error) {
 					oc.elapsed = res.Elapsed
 					oc.netBytes = netTotal() - pre
 				}
-				done++
 			})
-			if !waitAll(env, &done, 1, 3600*time.Second) {
+			if !g.wait(3600 * time.Second) {
 				return outcome{}, fmt.Errorf("fig9: linefs sort stalled")
 			}
 			oc.series = fabricSeries.Rate()
@@ -274,9 +274,10 @@ func Fig9(o Options) (*Result, error) {
 			ip := workload.StartIperf(env, cl.Machines[1].Port, cl.Machines[2].Port, 128<<10)
 			defer ip.Stop()
 			var clients []*dfs.Client
-			done := 0
+			g := newGroup(env, 1)
 			var oc outcome
 			env.Go("sort", func(p *sim.Proc) {
+				defer g.done()
 				for i := 0; i < 8; i++ {
 					a, err := cl.Attach(p, 0)
 					if err != nil {
@@ -290,9 +291,8 @@ func Fig9(o Options) (*Result, error) {
 					oc.elapsed = res.Elapsed
 					oc.netBytes = cl.Fabric.Total.Total() - ip.Bytes - pre
 				}
-				done++
 			})
-			if !waitAll(env, &done, 1, 3600*time.Second) {
+			if !g.wait(3600 * time.Second) {
 				return outcome{}, fmt.Errorf("fig9: assise sort stalled")
 			}
 			oc.series = fabricSeries.Rate()

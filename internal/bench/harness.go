@@ -9,7 +9,10 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"linefs/internal/assise"
@@ -70,9 +73,15 @@ func (r *Result) Print(w io.Writer) {
 	for _, row := range r.Rows {
 		line(row)
 	}
-	for name, s := range r.Series {
+	// Sorted so output is reproducible run to run (map iteration is not).
+	names := make([]string, 0, len(r.Series))
+	for name := range r.Series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		fmt.Fprintf(w, "  series %s:", name)
-		for _, v := range s {
+		for _, v := range r.Series[name] {
 			fmt.Fprintf(w, " %.2f", v)
 		}
 		fmt.Fprintln(w)
@@ -222,14 +231,83 @@ func mbps(v float64) string { return fmt.Sprintf("%.0f", v/1e6) }
 // us formats a duration in microseconds.
 func us(d time.Duration) string { return fmt.Sprintf("%.0f", float64(d)/1e3) }
 
-// waitAll blocks the simulation until every done flag in the slice is set
-// or the deadline passes; it reports completion.
-func waitAll(env *sim.Env, done *int, want int, deadline time.Duration) bool {
-	for time.Duration(env.Now()) < deadline {
-		if *done >= want {
-			return true
-		}
-		env.RunFor(50 * time.Millisecond)
+// group tracks completion of a set of benchmark worker processes through a
+// completion event, so the driver can run the simulation straight to the
+// finish instead of polling in 50 ms RunFor steps (which kept finished
+// experiments burning events on background processes).
+type group struct {
+	env  *sim.Env
+	want int
+	n    int
+	ev   *sim.Event
+}
+
+// newGroup creates a tracker expecting want workers.
+func newGroup(env *sim.Env, want int) *group {
+	return &group{env: env, want: want, ev: sim.NewEvent(env)}
+}
+
+// done records one worker's completion; the last one fires the event.
+func (g *group) done() {
+	g.n++
+	if g.n == g.want {
+		g.ev.Trigger(nil)
 	}
-	return *done >= want
+}
+
+// wait runs the simulation until every worker called done or the virtual
+// deadline (absolute, from simulation start) passes; it reports completion.
+// The run stops at the exact completion event.
+func (g *group) wait(deadline time.Duration) bool {
+	if g.n >= g.want {
+		return true
+	}
+	g.env.Go("bench/wait", func(p *sim.Proc) {
+		p.WaitTimeout(g.ev, deadline-time.Duration(p.Now()))
+		g.env.Stop()
+	})
+	g.env.Run()
+	return g.n >= g.want
+}
+
+// waitEvents runs the simulation until all events trigger or the virtual
+// deadline (absolute) passes; it reports whether all triggered.
+func waitEvents(env *sim.Env, deadline time.Duration, evs ...*sim.Event) bool {
+	all := true
+	env.Go("bench/waitEvents", func(p *sim.Proc) {
+		for _, ev := range evs {
+			if _, ok := p.WaitTimeout(ev, deadline-time.Duration(p.Now())); !ok {
+				all = false
+				break
+			}
+		}
+		env.Stop()
+	})
+	env.Run()
+	return all
+}
+
+// RunAll executes the experiments j at a time (j <= 0 means GOMAXPROCS)
+// and returns results in input order. Every sim.Env is self-contained and
+// each experiment receives its own Options value — and therefore its own
+// deterministic seed — so the output is byte-identical regardless of j.
+func RunAll(exps []Experiment, opts Options, j int) ([]*Result, []error) {
+	if j <= 0 {
+		j = runtime.GOMAXPROCS(0)
+	}
+	results := make([]*Result, len(exps))
+	errs := make([]error, len(exps))
+	sem := make(chan struct{}, j)
+	var wg sync.WaitGroup
+	for i, e := range exps {
+		wg.Add(1)
+		go func(i int, e Experiment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = e.Run(opts)
+		}(i, e)
+	}
+	wg.Wait()
+	return results, errs
 }

@@ -43,8 +43,7 @@ func Table1(o Options) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			done := 0
-			_ = done
+			g := newGroup(env, procs)
 			var start, end sim.Time
 			for i := 0; i < procs; i++ {
 				idx := i
@@ -57,10 +56,10 @@ func Table1(o Options) (*Result, error) {
 					if p.Now() > end {
 						end = p.Now()
 					}
-					done++
+					g.done()
 				})
 			}
-			ok := waitAll(env, &done, procs, 300*time.Second)
+			ok := g.wait(300 * time.Second)
 			elapsed := time.Duration(end - start)
 			aTputDone := ok
 			aTput := float64(procs*perProc) / elapsed.Seconds()
@@ -76,7 +75,7 @@ func Table1(o Options) (*Result, error) {
 			cenv := sim.NewEnv(o.Seed)
 			ccl := cephsim.NewCluster(cenv, ccfg)
 			ccl.Start()
-			cdone := 0
+			cg := newGroup(cenv, procs)
 			var cend sim.Time
 			for i := 0; i < procs; i++ {
 				cenv.Go("bench", func(p *sim.Proc) {
@@ -88,10 +87,10 @@ func Table1(o Options) (*Result, error) {
 					if p.Now() > cend {
 						cend = p.Now()
 					}
-					cdone++
+					cg.done()
 				})
 			}
-			cok := waitAll(cenv, &cdone, procs, 300*time.Second)
+			cok := cg.wait(300 * time.Second)
 			cElapsed := time.Duration(cend)
 			cTput := float64(procs*perProc) / cElapsed.Seconds()
 			cCPU := ccl.ClientM.HostCPU.Util.Percent("ceph", cElapsed)
@@ -129,16 +128,16 @@ func Table2(o Options) (*Result, error) {
 			return out{}, err
 		}
 		var r out
-		done := 0
+		g := newGroup(env, 1)
 		env.Go("bench", func(p *sim.Proc) {
 			a, _ := cl.Attach(p, 0)
 			workload.WriteBench(p, a.Client, "/r", total, io, o.Seed)
 			p.Sleep(2 * time.Second) // publication drains
 			r.seq, _ = workload.ReadBench(p, a.Client, "/r", total, io, false, o.Seed)
 			r.rnd, _ = workload.ReadBench(p, a.Client, "/r", total, io, true, o.Seed)
-			done++
+			g.done()
 		})
-		ok := waitAll(env, &done, 1, 600*time.Second)
+		ok := g.wait(600 * time.Second)
 		env.Shutdown()
 		if !ok {
 			return out{}, fmt.Errorf("table2: linefs run stalled")
@@ -152,16 +151,16 @@ func Table2(o Options) (*Result, error) {
 			return out{}, err
 		}
 		var r out
-		done := 0
+		g := newGroup(env, 1)
 		env.Go("bench", func(p *sim.Proc) {
 			a, _ := cl.Attach(p, 0)
 			workload.WriteBench(p, a.Client, "/r", total, io, o.Seed)
 			p.Sleep(2 * time.Second)
 			r.seq, _ = workload.ReadBench(p, a.Client, "/r", total, io, false, o.Seed)
 			r.rnd, _ = workload.ReadBench(p, a.Client, "/r", total, io, true, o.Seed)
-			done++
+			g.done()
 		})
-		ok := waitAll(env, &done, 1, 600*time.Second)
+		ok := g.wait(600 * time.Second)
 		env.Shutdown()
 		if !ok {
 			return out{}, fmt.Errorf("table2: assise run stalled")
@@ -211,13 +210,13 @@ func Table3(o Options) (*Result, error) {
 			busyReplicas(env, cl.Machines)
 		}
 		var lat *stats.Latency
-		done := 0
+		g := newGroup(env, 1)
 		env.Go("bench", func(p *sim.Proc) {
 			a, _ := cl.Attach(p, 0)
 			lat, _ = workload.LatencyBench(p, a.Client, "/lat", nOps, 16<<10, o.Seed)
-			done++
+			g.done()
 		})
-		ok := waitAll(env, &done, 1, 1200*time.Second)
+		ok := g.wait(1200 * time.Second)
 		env.Shutdown()
 		if !ok {
 			return nil, fmt.Errorf("table3: linefs stalled (busy=%v)", busy)
@@ -237,13 +236,13 @@ func Table3(o Options) (*Result, error) {
 			busyReplicas(env, cl.Machines)
 		}
 		var lat *stats.Latency
-		done := 0
+		g := newGroup(env, 1)
 		env.Go("bench", func(p *sim.Proc) {
 			a, _ := cl.Attach(p, 0)
 			lat, _ = workload.LatencyBench(p, a.Client, "/lat", nOps, 16<<10, o.Seed)
-			done++
+			g.done()
 		})
-		ok := waitAll(env, &done, 1, 1200*time.Second)
+		ok := g.wait(1200 * time.Second)
 		env.Shutdown()
 		if !ok {
 			return nil, fmt.Errorf("table3: %v stalled (busy=%v)", mode, busy)

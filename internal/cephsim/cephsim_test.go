@@ -8,6 +8,7 @@ import (
 )
 
 func TestClientServerWrites(t *testing.T) {
+	t.Parallel()
 	env := sim.NewEnv(1)
 	cl := NewCluster(env, DefaultConfig())
 	cl.Start()
@@ -33,6 +34,7 @@ func TestClientServerWrites(t *testing.T) {
 }
 
 func TestMultipleClientsShareServers(t *testing.T) {
+	t.Parallel()
 	env := sim.NewEnv(1)
 	cl := NewCluster(env, DefaultConfig())
 	cl.Start()
@@ -54,6 +56,7 @@ func TestMultipleClientsShareServers(t *testing.T) {
 }
 
 func TestThroughputSaturates(t *testing.T) {
+	t.Parallel()
 	// Doubling offered load once the servers saturate must not double
 	// throughput per unit time: measure time to push fixed totals.
 	measure := func(procs int) time.Duration {

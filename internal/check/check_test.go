@@ -6,7 +6,11 @@ import (
 	"linefs/internal/assise"
 )
 
+// Every test builds fresh targets (one Env per case) and package state is
+// written only during init, so the suites can run in parallel.
+
 func TestGenericSuiteOnLineFS(t *testing.T) {
+	t.Parallel()
 	mk := func() (*Target, error) { return NewLineFSTarget(1) }
 	for _, c := range append(Generic(), genericExtra...) {
 		c := c
@@ -19,6 +23,7 @@ func TestGenericSuiteOnLineFS(t *testing.T) {
 }
 
 func TestCrashSuiteOnLineFS(t *testing.T) {
+	t.Parallel()
 	mk := func() (*Target, error) { return NewLineFSTarget(1) }
 	for _, c := range CrashCases() {
 		c := c
@@ -31,6 +36,10 @@ func TestCrashSuiteOnLineFS(t *testing.T) {
 }
 
 func TestGenericSuiteOnAssise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline cross-check; LineFS generic suite covers the cases in -short")
+	}
+	t.Parallel()
 	mk := func() (*Target, error) { return NewAssiseTarget(1, assise.Pessimistic) }
 	for _, c := range append(Generic(), genericExtra...) {
 		c := c
@@ -43,6 +52,10 @@ func TestGenericSuiteOnAssise(t *testing.T) {
 }
 
 func TestGenericSuiteOnHyperloop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline cross-check; LineFS generic suite covers the cases in -short")
+	}
+	t.Parallel()
 	mk := func() (*Target, error) { return NewAssiseTarget(1, assise.Hyperloop) }
 	for _, c := range Generic() {
 		c := c

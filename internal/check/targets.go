@@ -11,13 +11,18 @@ import (
 )
 
 // NewLineFSTarget builds a fresh LineFS cluster target.
+//
+// Sizes are deliberately small: the check cases are correctness tests that
+// write at most ~16 MB, and every case builds (and tears down) a fresh
+// three-machine cluster, so PM array size directly dominates suite runtime
+// (page-fault and zeroing cost, not simulation work).
 func NewLineFSTarget(seed int64) (*Target, error) {
 	cfg := core.DefaultConfig()
-	cfg.Spec.PMSize = 768 << 20
-	cfg.VolSize = 512 << 20
+	cfg.Spec.PMSize = 256 << 20
+	cfg.VolSize = 128 << 20
 	cfg.LogSize = 24 << 20
 	cfg.ChunkSize = 1 << 20
-	cfg.MaxClients = 8
+	cfg.MaxClients = 4
 	cfg.InodesPerVol = 16384
 	env := sim.NewEnv(seed)
 	cl, err := core.NewCluster(env, cfg)
@@ -46,11 +51,11 @@ func NewLineFSTarget(seed int64) (*Target, error) {
 // NewAssiseTarget builds a fresh Assise cluster target.
 func NewAssiseTarget(seed int64, mode assise.Mode) (*Target, error) {
 	cfg := assise.DefaultConfig()
-	cfg.Spec.PMSize = 768 << 20
-	cfg.VolSize = 512 << 20
+	cfg.Spec.PMSize = 256 << 20
+	cfg.VolSize = 128 << 20
 	cfg.LogSize = 24 << 20
 	cfg.ChunkSize = 1 << 20
-	cfg.MaxClients = 8
+	cfg.MaxClients = 4
 	cfg.InodesPerVol = 16384
 	cfg.Mode = mode
 	env := sim.NewEnv(seed)
@@ -86,15 +91,17 @@ func RunCase(mk func() (*Target, error), c Case) error {
 	}
 	defer tgt.Env.Shutdown()
 	var caseErr error
-	done := 0
-	tgt.Env.Go("check/"+c.Name, func(p *sim.Proc) {
+	pr := tgt.Env.Go("check/"+c.Name, func(p *sim.Proc) {
 		caseErr = c.Run(p, tgt)
-		done++
 	})
-	for i := 0; i < 24000 && done == 0; i++ {
-		tgt.Env.RunFor(50 * 1000 * 1000) // 50ms steps, 20 minutes virtual cap
-	}
-	if done == 0 {
+	// Run straight to the case's completion event (20 minutes virtual cap)
+	// instead of stepping the clock in 50 ms polls.
+	tgt.Env.Go("check/wait", func(p *sim.Proc) {
+		p.WaitTimeout(pr.Done, 20*60*1000*1000*1000)
+		tgt.Env.Stop()
+	})
+	tgt.Env.Run()
+	if !pr.Done.Triggered() {
 		return fmt.Errorf("case %s: did not complete in simulated time", c.Name)
 	}
 	return caseErr

@@ -22,6 +22,7 @@ func (f *fakeMember) PeerDown(p *sim.Proc, name string)      { f.downs = append(
 func (f *fakeMember) PeerUp(p *sim.Proc, name string)        { f.ups = append(f.ups, name) }
 
 func TestFailureDetectionAndRecovery(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	m := NewManager(e, time.Second)
 	a := &fakeMember{name: "a", up: true}
@@ -66,6 +67,7 @@ func TestFailureDetectionAndRecovery(t *testing.T) {
 }
 
 func TestRootLeaseFailover(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	m := NewManager(e, time.Second)
 	a := &fakeMember{name: "a", up: true}
@@ -88,6 +90,7 @@ func TestRootLeaseFailover(t *testing.T) {
 }
 
 func TestNoEventsWhenHealthy(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	m := NewManager(e, time.Second)
 	a := &fakeMember{name: "a", up: true}
@@ -103,6 +106,7 @@ func TestNoEventsWhenHealthy(t *testing.T) {
 }
 
 func TestAliveMembers(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	m := NewManager(e, time.Second)
 	a := &fakeMember{name: "a", up: true}

@@ -20,6 +20,7 @@ func roundTrip(t *testing.T, src []byte) {
 }
 
 func TestRoundTripBasics(t *testing.T) {
+	t.Parallel()
 	cases := [][]byte{
 		nil,
 		{},
@@ -35,6 +36,7 @@ func TestRoundTripBasics(t *testing.T) {
 }
 
 func TestRoundTripRandom(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(42))
 	for i := 0; i < 20; i++ {
 		n := rng.Intn(100000)
@@ -45,6 +47,7 @@ func TestRoundTripRandom(t *testing.T) {
 }
 
 func TestRoundTripDictionaryReset(t *testing.T) {
+	t.Parallel()
 	// Enough distinct digrams to exhaust the 16-bit code space and force a
 	// clear code mid-stream.
 	rng := rand.New(rand.NewSource(7))
@@ -54,6 +57,7 @@ func TestRoundTripDictionaryReset(t *testing.T) {
 }
 
 func TestRoundTripQuick(t *testing.T) {
+	t.Parallel()
 	f := func(src []byte) bool {
 		c := Compress(src)
 		d, err := Decompress(c)
@@ -65,6 +69,7 @@ func TestRoundTripQuick(t *testing.T) {
 }
 
 func TestCompressesRedundantData(t *testing.T) {
+	t.Parallel()
 	src := bytes.Repeat([]byte("record0000"), 5000)
 	c := Compress(src)
 	if len(c) >= len(src)/3 {
@@ -73,6 +78,7 @@ func TestCompressesRedundantData(t *testing.T) {
 }
 
 func TestRatioZeroHeavyInput(t *testing.T) {
+	t.Parallel()
 	// An 80%-zero input should compress by well over half.
 	rng := rand.New(rand.NewSource(1))
 	buf := make([]byte, 1<<18)
@@ -91,6 +97,7 @@ func TestRatioZeroHeavyInput(t *testing.T) {
 }
 
 func TestDecompressRejectsGarbage(t *testing.T) {
+	t.Parallel()
 	if _, err := Decompress([]byte{0xff, 0xff, 0xff}); err == nil {
 		t.Fatal("garbage accepted")
 	}
@@ -100,6 +107,7 @@ func TestDecompressRejectsGarbage(t *testing.T) {
 }
 
 func TestDecompressTruncated(t *testing.T) {
+	t.Parallel()
 	c := Compress(bytes.Repeat([]byte("hello world "), 1000))
 	if _, err := Decompress(c[:len(c)/2]); err == nil {
 		t.Fatal("truncated stream accepted")

@@ -47,6 +47,7 @@ func run(t *testing.T, env *sim.Env, d time.Duration, fn func(p *sim.Proc)) {
 }
 
 func TestWriteFsyncReadBack(t *testing.T) {
+	t.Parallel()
 	env, cl := newTestCluster(t, testConfig())
 	run(t, env, 10*time.Second, func(p *sim.Proc) {
 		l, err := cl.Attach(p, 0)
@@ -76,6 +77,7 @@ func TestWriteFsyncReadBack(t *testing.T) {
 }
 
 func TestFsyncReplicatesToAllReplicas(t *testing.T) {
+	t.Parallel()
 	env, cl := newTestCluster(t, testConfig())
 	payload := bytes.Repeat([]byte{0xAB}, 20000)
 	run(t, env, 10*time.Second, func(p *sim.Proc) {
@@ -111,6 +113,7 @@ func TestFsyncReplicatesToAllReplicas(t *testing.T) {
 }
 
 func TestFsyncDurableAcrossPrimaryHostCrash(t *testing.T) {
+	t.Parallel()
 	env, cl := newTestCluster(t, testConfig())
 	payload := bytes.Repeat([]byte{7}, 8192)
 	run(t, env, 10*time.Second, func(p *sim.Proc) {
@@ -147,6 +150,7 @@ func TestFsyncDurableAcrossPrimaryHostCrash(t *testing.T) {
 }
 
 func TestBackgroundPublicationAndReclaim(t *testing.T) {
+	t.Parallel()
 	cfg := testConfig()
 	env, cl := newTestCluster(t, cfg)
 	total := 4 * cfg.ChunkSize
@@ -193,6 +197,7 @@ func TestBackgroundPublicationAndReclaim(t *testing.T) {
 }
 
 func TestReplicasPublishToo(t *testing.T) {
+	t.Parallel()
 	cfg := testConfig()
 	env, cl := newTestCluster(t, cfg)
 	payload := bytes.Repeat([]byte{0x5A}, 2*cfg.ChunkSize)
@@ -221,6 +226,7 @@ func TestReplicasPublishToo(t *testing.T) {
 }
 
 func TestNamespaceOpsVisibleLocally(t *testing.T) {
+	t.Parallel()
 	env, cl := newTestCluster(t, testConfig())
 	run(t, env, 10*time.Second, func(p *sim.Proc) {
 		l, _ := cl.Attach(p, 0)
@@ -262,6 +268,7 @@ func TestNamespaceOpsVisibleLocally(t *testing.T) {
 }
 
 func TestNamespacePublishes(t *testing.T) {
+	t.Parallel()
 	env, cl := newTestCluster(t, testConfig())
 	run(t, env, 30*time.Second, func(p *sim.Proc) {
 		l, _ := cl.Attach(p, 0)
@@ -281,6 +288,7 @@ func TestNamespacePublishes(t *testing.T) {
 }
 
 func TestTwoClientsLeaseConflict(t *testing.T) {
+	t.Parallel()
 	env, cl := newTestCluster(t, testConfig())
 	run(t, env, 30*time.Second, func(p *sim.Proc) {
 		a, _ := cl.Attach(p, 0)
@@ -315,6 +323,7 @@ func TestTwoClientsLeaseConflict(t *testing.T) {
 }
 
 func TestSequentialModeWorks(t *testing.T) {
+	t.Parallel()
 	cfg := testConfig()
 	cfg.Parallel = false
 	env, cl := newTestCluster(t, cfg)
@@ -335,6 +344,7 @@ func TestSequentialModeWorks(t *testing.T) {
 }
 
 func TestCompressionModePreservesData(t *testing.T) {
+	t.Parallel()
 	cfg := testConfig()
 	cfg.Compress = true
 	env, cl := newTestCluster(t, cfg)
@@ -367,6 +377,7 @@ func TestCompressionModePreservesData(t *testing.T) {
 }
 
 func TestHostCrashIsolatedModeKeepsChainAlive(t *testing.T) {
+	t.Parallel()
 	cfg := testConfig()
 	cfg.HeartbeatEvery = 200 * time.Millisecond
 	env, cl := newTestCluster(t, cfg)
@@ -416,6 +427,7 @@ func TestHostCrashIsolatedModeKeepsChainAlive(t *testing.T) {
 }
 
 func TestLogBackpressure(t *testing.T) {
+	t.Parallel()
 	cfg := testConfig()
 	cfg.LogSize = 2 << 20
 	cfg.ChunkSize = 256 << 10
@@ -437,6 +449,7 @@ func TestLogBackpressure(t *testing.T) {
 }
 
 func TestStageTimesRecorded(t *testing.T) {
+	t.Parallel()
 	cfg := testConfig()
 	env, cl := newTestCluster(t, cfg)
 	run(t, env, 60*time.Second, func(p *sim.Proc) {

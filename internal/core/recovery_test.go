@@ -14,6 +14,7 @@ import (
 // NICFS recovers the missed namespace history and file contents from a
 // peer.
 func TestNICFSCrashRecovery(t *testing.T) {
+	t.Parallel()
 	cfg := testConfig()
 	cfg.HeartbeatEvery = 200 * time.Millisecond
 	env, cl := newTestCluster(t, cfg)
@@ -78,6 +79,7 @@ func TestNICFSCrashRecovery(t *testing.T) {
 // TestEpochPersistence checks that epoch changes reach PM so a restarting
 // NICFS knows where to recover from.
 func TestEpochPersistence(t *testing.T) {
+	t.Parallel()
 	cfg := testConfig()
 	cfg.HeartbeatEvery = 100 * time.Millisecond
 	env, cl := newTestCluster(t, cfg)

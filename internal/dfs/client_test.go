@@ -92,6 +92,7 @@ func run(t *testing.T, env *sim.Env, fn func(p *sim.Proc)) {
 }
 
 func TestDirtyOverlayVisibility(t *testing.T) {
+	t.Parallel()
 	env, _, c := newFake(t)
 	run(t, env, func(p *sim.Proc) {
 		fd, err := c.Create(p, "/x")
@@ -111,6 +112,7 @@ func TestDirtyOverlayVisibility(t *testing.T) {
 }
 
 func TestOverlayPrunedAfterReclaim(t *testing.T) {
+	t.Parallel()
 	env, b, c := newFake(t)
 	run(t, env, func(p *sim.Proc) {
 		fd, _ := c.Create(p, "/x")
@@ -140,6 +142,7 @@ func TestOverlayPrunedAfterReclaim(t *testing.T) {
 }
 
 func TestReadMergesLogOverPublished(t *testing.T) {
+	t.Parallel()
 	env, _, c := newFake(t)
 	run(t, env, func(p *sim.Proc) {
 		fd, _ := c.Create(p, "/m")
@@ -157,6 +160,7 @@ func TestReadMergesLogOverPublished(t *testing.T) {
 }
 
 func TestChunkReadyPacing(t *testing.T) {
+	t.Parallel()
 	env, b, c := newFake(t)
 	run(t, env, func(p *sim.Proc) {
 		fd, _ := c.Create(p, "/pace")
@@ -172,6 +176,7 @@ func TestChunkReadyPacing(t *testing.T) {
 }
 
 func TestLeaseCaching(t *testing.T) {
+	t.Parallel()
 	env, b, c := newFake(t)
 	run(t, env, func(p *sim.Proc) {
 		fd, _ := c.Create(p, "/l")
@@ -192,6 +197,7 @@ func TestLeaseCaching(t *testing.T) {
 }
 
 func TestCleanPath(t *testing.T) {
+	t.Parallel()
 	cases := map[string][]string{
 		"/":        nil,
 		"":         nil,
@@ -215,6 +221,7 @@ func TestCleanPath(t *testing.T) {
 }
 
 func TestSplitDir(t *testing.T) {
+	t.Parallel()
 	cases := [][3]string{
 		{"/a/b", "/a/", "b"},
 		{"/x", "/", "x"},
@@ -229,6 +236,7 @@ func TestSplitDir(t *testing.T) {
 }
 
 func TestWriteToReadOnlyFD(t *testing.T) {
+	t.Parallel()
 	env, _, c := newFake(t)
 	run(t, env, func(p *sim.Proc) {
 		fd, _ := c.Create(p, "/ro")
@@ -245,6 +253,7 @@ func TestWriteToReadOnlyFD(t *testing.T) {
 }
 
 func TestBadFDErrors(t *testing.T) {
+	t.Parallel()
 	env, _, c := newFake(t)
 	run(t, env, func(p *sim.Proc) {
 		if _, err := c.WriteAt(p, 999, 0, []byte("x")); err != ErrBadFD {

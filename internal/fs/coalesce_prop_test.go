@@ -14,6 +14,7 @@ import (
 // stage: applying the coalesced entry stream to a fresh volume must produce
 // exactly the same published state as applying the original stream.
 func TestCoalescePreservesFinalState(t *testing.T) {
+	t.Parallel()
 	for seed := int64(0); seed < 25; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		entries := randomBatch(rng)

@@ -3,6 +3,7 @@ package fs
 import "testing"
 
 func TestCoalesceCreateUnlinkPair(t *testing.T) {
+	t.Parallel()
 	entries := []*Entry{
 		{Seq: 0, Type: OpCreate, Ino: 5, PIno: RootIno, Name: "tmp"},
 		{Seq: 1, Type: OpWrite, Ino: 5, Data: make([]byte, 4096)},
@@ -19,6 +20,7 @@ func TestCoalesceCreateUnlinkPair(t *testing.T) {
 }
 
 func TestCoalesceUnlinkWithoutCreateKept(t *testing.T) {
+	t.Parallel()
 	entries := []*Entry{
 		{Seq: 0, Type: OpWrite, Ino: 5, Data: []byte("x")},
 		{Seq: 1, Type: OpUnlink, Ino: 5, PIno: RootIno, Name: "f"},
@@ -30,6 +32,7 @@ func TestCoalesceUnlinkWithoutCreateKept(t *testing.T) {
 }
 
 func TestCoalesceOverwrite(t *testing.T) {
+	t.Parallel()
 	entries := []*Entry{
 		{Seq: 0, Type: OpWrite, Ino: 5, Off: 0, Data: make([]byte, 100)},
 		{Seq: 1, Type: OpWrite, Ino: 5, Off: 4096, Data: make([]byte, 100)},
@@ -45,6 +48,7 @@ func TestCoalesceOverwrite(t *testing.T) {
 }
 
 func TestCoalesceDifferentRangesKept(t *testing.T) {
+	t.Parallel()
 	entries := []*Entry{
 		{Seq: 0, Type: OpWrite, Ino: 5, Off: 0, Data: make([]byte, 200)},
 		{Seq: 1, Type: OpWrite, Ino: 5, Off: 0, Data: make([]byte, 100)}, // shorter: not a full shadow
@@ -56,6 +60,7 @@ func TestCoalesceDifferentRangesKept(t *testing.T) {
 }
 
 func TestCoalesceRenameBlocksCreateUnlink(t *testing.T) {
+	t.Parallel()
 	entries := []*Entry{
 		{Seq: 0, Type: OpCreate, Ino: 5, PIno: RootIno, Name: "a"},
 		{Seq: 1, Type: OpRename, Ino: 5, PIno: RootIno, Name: "a", PIno2: RootIno, Name2: "b"},
@@ -68,6 +73,7 @@ func TestCoalesceRenameBlocksCreateUnlink(t *testing.T) {
 }
 
 func TestCoalescePreservesOrder(t *testing.T) {
+	t.Parallel()
 	entries := []*Entry{
 		{Seq: 0, Type: OpCreate, Ino: 7, PIno: RootIno, Name: "x"},
 		{Seq: 1, Type: OpWrite, Ino: 7, Off: 0, Data: []byte("1")},
@@ -86,6 +92,7 @@ func TestCoalescePreservesOrder(t *testing.T) {
 }
 
 func TestCoalesceTruncateInvalidatesShadow(t *testing.T) {
+	t.Parallel()
 	entries := []*Entry{
 		{Seq: 0, Type: OpWrite, Ino: 5, Off: 0, Data: make([]byte, 100)},
 		{Seq: 1, Type: OpTruncate, Ino: 5, Off: 0},
@@ -98,6 +105,7 @@ func TestCoalesceTruncateInvalidatesShadow(t *testing.T) {
 }
 
 func TestValidateSeq(t *testing.T) {
+	t.Parallel()
 	entries := []*Entry{{Seq: 5}, {Seq: 6}, {Seq: 7}}
 	if err := ValidateSeq(entries, 5); err != nil {
 		t.Fatal(err)
@@ -112,6 +120,7 @@ func TestValidateSeq(t *testing.T) {
 }
 
 func TestCoalesceEmpty(t *testing.T) {
+	t.Parallel()
 	kept, dropped := Coalesce(nil)
 	if len(kept) != 0 || dropped != 0 {
 		t.Fatal("empty input mishandled")

@@ -22,6 +22,7 @@ func writeRead(t *testing.T, v *Vol, c *Ctx, ino Ino, off uint64, data []byte) {
 }
 
 func TestPublishWriteAndRead(t *testing.T) {
+	t.Parallel()
 	_, v, c := newTestVol(t)
 	v.CreateInode(c, 9, TypeFile)
 	writeRead(t, v, c, 9, 0, []byte("hello world"))
@@ -32,6 +33,7 @@ func TestPublishWriteAndRead(t *testing.T) {
 }
 
 func TestPublishWriteUnaligned(t *testing.T) {
+	t.Parallel()
 	_, v, c := newTestVol(t)
 	v.CreateInode(c, 9, TypeFile)
 	// Cross a block boundary with an unaligned offset.
@@ -40,6 +42,7 @@ func TestPublishWriteUnaligned(t *testing.T) {
 }
 
 func TestPublishWriteOverwriteInPlace(t *testing.T) {
+	t.Parallel()
 	_, v, c := newTestVol(t)
 	v.CreateInode(c, 9, TypeFile)
 	writeRead(t, v, c, 9, 0, bytes.Repeat([]byte{1}, 3*BlockSize))
@@ -56,6 +59,7 @@ func TestPublishWriteOverwriteInPlace(t *testing.T) {
 }
 
 func TestPublishWriteSparseHoleReadsZero(t *testing.T) {
+	t.Parallel()
 	_, v, c := newTestVol(t)
 	v.CreateInode(c, 9, TypeFile)
 	writeRead(t, v, c, 9, 10*BlockSize, []byte("tail"))
@@ -72,6 +76,7 @@ func TestPublishWriteSparseHoleReadsZero(t *testing.T) {
 }
 
 func TestReadPastEOF(t *testing.T) {
+	t.Parallel()
 	_, v, c := newTestVol(t)
 	v.CreateInode(c, 9, TypeFile)
 	writeRead(t, v, c, 9, 0, []byte("short"))
@@ -87,6 +92,7 @@ func TestReadPastEOF(t *testing.T) {
 }
 
 func TestTruncateToZeroFreesBlocks(t *testing.T) {
+	t.Parallel()
 	_, v, c := newTestVol(t)
 	v.CreateInode(c, 9, TypeFile)
 	free0 := v.FreeCount()
@@ -104,6 +110,7 @@ func TestTruncateToZeroFreesBlocks(t *testing.T) {
 }
 
 func TestRandomWritesMatchModel(t *testing.T) {
+	t.Parallel()
 	_, v, c := newTestVol(t)
 	v.CreateInode(c, 9, TypeFile)
 	rng := rand.New(rand.NewSource(99))
@@ -128,6 +135,7 @@ func TestRandomWritesMatchModel(t *testing.T) {
 }
 
 func TestFreeInodeReleasesEverything(t *testing.T) {
+	t.Parallel()
 	_, v, c := newTestVol(t)
 	free0 := v.FreeCount()
 	v.CreateInode(c, 9, TypeFile)
@@ -144,6 +152,7 @@ func TestFreeInodeReleasesEverything(t *testing.T) {
 }
 
 func TestPublishIsIdempotent(t *testing.T) {
+	t.Parallel()
 	_, v, c := newTestVol(t)
 	entries := []*Entry{
 		{Seq: 0, Type: OpCreate, Ino: 9, PIno: RootIno, Name: "f"},
@@ -165,6 +174,7 @@ func TestPublishIsIdempotent(t *testing.T) {
 }
 
 func TestApplyNamespaceOps(t *testing.T) {
+	t.Parallel()
 	_, v, c := newTestVol(t)
 	entries := []*Entry{
 		{Type: OpMkdir, Ino: 2, PIno: RootIno, Name: "d"},
@@ -199,6 +209,7 @@ func TestApplyNamespaceOps(t *testing.T) {
 }
 
 func TestApplyRmdirNotEmpty(t *testing.T) {
+	t.Parallel()
 	_, v, c := newTestVol(t)
 	setup := []*Entry{
 		{Type: OpMkdir, Ino: 2, PIno: RootIno, Name: "d"},
@@ -214,6 +225,7 @@ func TestApplyRmdirNotEmpty(t *testing.T) {
 }
 
 func TestApplyRenameOverExisting(t *testing.T) {
+	t.Parallel()
 	_, v, c := newTestVol(t)
 	setup := []*Entry{
 		{Type: OpCreate, Ino: 3, PIno: RootIno, Name: "src"},
@@ -234,6 +246,7 @@ func TestApplyRenameOverExisting(t *testing.T) {
 }
 
 func TestApplyRenameCycleRejected(t *testing.T) {
+	t.Parallel()
 	_, v, c := newTestVol(t)
 	setup := []*Entry{
 		{Type: OpMkdir, Ino: 2, PIno: RootIno, Name: "a"},

@@ -19,6 +19,7 @@ func newTestLog(t *testing.T, size int64) (*LogArea, *Ctx) {
 }
 
 func TestEntryEncodeDecode(t *testing.T) {
+	t.Parallel()
 	e := &Entry{
 		Seq: 7, Type: OpRename, Ino: 3, PIno: 1, PIno2: 2,
 		Off: 4096, Name: "old", Name2: "newname", Data: []byte("payload"),
@@ -37,6 +38,7 @@ func TestEntryEncodeDecode(t *testing.T) {
 }
 
 func TestEntryDecodeQuick(t *testing.T) {
+	t.Parallel()
 	f := func(seq uint64, ino, pino uint32, off uint64, name string, data []byte) bool {
 		if len(name) > 1<<15 {
 			name = name[:1<<15]
@@ -61,6 +63,7 @@ func TestEntryDecodeQuick(t *testing.T) {
 }
 
 func TestEntryCRCDetectsCorruption(t *testing.T) {
+	t.Parallel()
 	e := &Entry{Type: OpWrite, Ino: 3, Data: []byte("data")}
 	wire := e.Encode()
 	wire[entryHdrSize] ^= 0xff
@@ -78,6 +81,7 @@ func TestEntryCRCDetectsCorruption(t *testing.T) {
 }
 
 func TestLogAppendDecode(t *testing.T) {
+	t.Parallel()
 	l, c := newTestLog(t, 1<<20)
 	var offs []uint64
 	for i := 0; i < 10; i++ {
@@ -103,6 +107,7 @@ func TestLogAppendDecode(t *testing.T) {
 }
 
 func TestLogFullAndReclaim(t *testing.T) {
+	t.Parallel()
 	l, c := newTestLog(t, 3*BlockSize)
 	e := &Entry{Type: OpWrite, Ino: 1, Data: make([]byte, 1000)}
 	var appended int
@@ -126,6 +131,7 @@ func TestLogFullAndReclaim(t *testing.T) {
 }
 
 func TestLogRingWraparound(t *testing.T) {
+	t.Parallel()
 	l, c := newTestLog(t, 3*BlockSize)
 	// Fill, reclaim, fill repeatedly so entries cross the physical end.
 	seq := uint64(0)
@@ -152,6 +158,7 @@ func TestLogRingWraparound(t *testing.T) {
 }
 
 func TestLogCrashRecoveryPrefix(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	pm := hw.NewPM(e, "pm", hw.DefaultPMConfig(1<<20))
 	l := NewLogArea(pm, 0, 1<<19)
@@ -185,6 +192,7 @@ func TestLogCrashRecoveryPrefix(t *testing.T) {
 }
 
 func TestLogCrashDropsUnpersistedSuffix(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	pm := hw.NewPM(e, "pm", hw.DefaultPMConfig(1<<20))
 	l := NewLogArea(pm, 0, 1<<19)
@@ -213,6 +221,7 @@ func TestLogCrashDropsUnpersistedSuffix(t *testing.T) {
 }
 
 func TestMirrorRaw(t *testing.T) {
+	t.Parallel()
 	lp, cp := newTestLog(t, 1<<19)
 	lr, cr := newTestLog(t, 1<<19)
 	for i := 0; i < 4; i++ {
@@ -233,6 +242,7 @@ func TestMirrorRaw(t *testing.T) {
 }
 
 func TestDecodeAllStopsAtGarbage(t *testing.T) {
+	t.Parallel()
 	good := (&Entry{Type: OpWrite, Ino: 1, Data: []byte("ok")}).Encode()
 	garbage := bytes.Repeat([]byte{0xEE}, 64)
 	ents, err := DecodeAll(append(append([]byte{}, good...), garbage...))
@@ -245,6 +255,7 @@ func TestDecodeAllStopsAtGarbage(t *testing.T) {
 }
 
 func TestLogAppendRandomSizes(t *testing.T) {
+	t.Parallel()
 	l, c := newTestLog(t, 1<<20)
 	rng := rand.New(rand.NewSource(5))
 	var want []uint64

@@ -21,6 +21,7 @@ func newTestVol(t *testing.T) (*sim.Env, *Vol, *Ctx) {
 }
 
 func TestFormatAndMount(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	pm := hw.NewPM(e, "pm", hw.DefaultPMConfig(64<<20))
 	v, err := Format(e, pm, 4096, 32<<20, 512)
@@ -49,6 +50,7 @@ func TestFormatAndMount(t *testing.T) {
 }
 
 func TestFormatTooSmall(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	pm := hw.NewPM(e, "pm", hw.DefaultPMConfig(1<<20))
 	if _, err := Format(e, pm, 0, 8192, 16); err == nil {
@@ -57,6 +59,7 @@ func TestFormatTooSmall(t *testing.T) {
 }
 
 func TestAllocContiguity(t *testing.T) {
+	t.Parallel()
 	_, v, c := newTestVol(t)
 	a, got, err := v.AllocRange(c, 16)
 	if err != nil || got != 16 {
@@ -74,6 +77,7 @@ func TestAllocContiguity(t *testing.T) {
 }
 
 func TestAllocExhaustion(t *testing.T) {
+	t.Parallel()
 	_, v, c := newTestVol(t)
 	total := v.FreeCount()
 	for allocated := uint64(0); allocated < total; {
@@ -89,6 +93,7 @@ func TestAllocExhaustion(t *testing.T) {
 }
 
 func TestInodeRoundTrip(t *testing.T) {
+	t.Parallel()
 	_, v, c := newTestVol(t)
 	in := Inode{Ino: 7, Type: TypeFile, Nlink: 1, Size: 12345, ExtHead: 3, ExtTail: 9, Mtime: 42}
 	v.WriteInode(c, &in)
@@ -108,6 +113,7 @@ func TestInodeRoundTrip(t *testing.T) {
 }
 
 func TestExtentAppendMergeLookup(t *testing.T) {
+	t.Parallel()
 	_, v, c := newTestVol(t)
 	in := Inode{Ino: 5, Type: TypeFile, Nlink: 1}
 	v.WriteInode(c, &in)
@@ -140,6 +146,7 @@ func TestExtentAppendMergeLookup(t *testing.T) {
 }
 
 func TestExtentChainGrowth(t *testing.T) {
+	t.Parallel()
 	_, v, c := newTestVol(t)
 	in := Inode{Ino: 5, Type: TypeFile, Nlink: 1}
 	v.WriteInode(c, &in)
@@ -163,6 +170,7 @@ func TestExtentChainGrowth(t *testing.T) {
 }
 
 func TestLookupRangeRunsAndHoles(t *testing.T) {
+	t.Parallel()
 	_, v, c := newTestVol(t)
 	in := Inode{Ino: 5, Type: TypeFile, Nlink: 1}
 	v.WriteInode(c, &in)
@@ -187,6 +195,7 @@ func TestLookupRangeRunsAndHoles(t *testing.T) {
 }
 
 func TestDirAddLookupRemove(t *testing.T) {
+	t.Parallel()
 	_, v, c := newTestVol(t)
 	v.CreateInode(c, 10, TypeFile)
 	if err := v.DirAdd(c, RootIno, DirEnt{Ino: 10, Type: TypeFile, Name: "a.txt"}); err != nil {
@@ -216,6 +225,7 @@ func TestDirAddLookupRemove(t *testing.T) {
 }
 
 func TestDirManyEntries(t *testing.T) {
+	t.Parallel()
 	_, v, c := newTestVol(t)
 	names := make([]string, 200)
 	for i := range names {
@@ -238,6 +248,7 @@ func TestDirManyEntries(t *testing.T) {
 }
 
 func TestDirNameTooLong(t *testing.T) {
+	t.Parallel()
 	_, v, c := newTestVol(t)
 	long := string(bytes.Repeat([]byte("x"), MaxName+1))
 	if err := v.DirAdd(c, RootIno, DirEnt{Ino: 5, Name: long}); err != ErrNameLen {
@@ -246,6 +257,7 @@ func TestDirNameTooLong(t *testing.T) {
 }
 
 func TestResolvePath(t *testing.T) {
+	t.Parallel()
 	_, v, c := newTestVol(t)
 	v.CreateInode(c, 2, TypeDir)
 	v.DirAdd(c, RootIno, DirEnt{Ino: 2, Type: TypeDir, Name: "dir"})
@@ -264,6 +276,7 @@ func TestResolvePath(t *testing.T) {
 }
 
 func TestIsAncestor(t *testing.T) {
+	t.Parallel()
 	_, v, c := newTestVol(t)
 	v.CreateInode(c, 2, TypeDir)
 	v.DirAdd(c, RootIno, DirEnt{Ino: 2, Type: TypeDir, Name: "a"})

@@ -9,6 +9,7 @@ import (
 )
 
 func TestCPUComputeTime(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	c := NewCPU(e, "host", 4, 1.0)
 	var done sim.Time
@@ -26,6 +27,7 @@ func TestCPUComputeTime(t *testing.T) {
 }
 
 func TestCPUWimpyScaling(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	nic := NewCPU(e, "nic", 16, 0.5)
 	var done sim.Time
@@ -40,6 +42,7 @@ func TestCPUWimpyScaling(t *testing.T) {
 }
 
 func TestCPUContentionTimeSlicing(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	c := NewCPU(e, "host", 1, 1.0)
 	var aDone, bDone sim.Time
@@ -60,6 +63,7 @@ func TestCPUContentionTimeSlicing(t *testing.T) {
 }
 
 func TestCPUPriorityStarvesLow(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	c := NewCPU(e, "host", 1, 1.0)
 	var hiDone, loDone sim.Time
@@ -79,6 +83,7 @@ func TestCPUPriorityStarvesLow(t *testing.T) {
 }
 
 func TestPinnedCore(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	c := NewCPU(e, "nic", 2, 1.0)
 	e.Go("poller", func(p *sim.Proc) {
@@ -96,6 +101,7 @@ func TestPinnedCore(t *testing.T) {
 }
 
 func TestLinkBandwidthAndLatency(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	l := NewLink(e, "net", time.Microsecond, 1e9) // 1 GB/s, 1us latency
 	var done sim.Time
@@ -113,6 +119,7 @@ func TestLinkBandwidthAndLatency(t *testing.T) {
 }
 
 func TestLinkSharedBandwidth(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	l := NewLink(e, "net", 0, 1e9)
 	var last sim.Time
@@ -132,6 +139,7 @@ func TestLinkSharedBandwidth(t *testing.T) {
 }
 
 func TestPMWritePersistRead(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	pm := NewPM(e, "pm", DefaultPMConfig(1<<20))
 	e.Go("io", func(p *sim.Proc) {
@@ -146,6 +154,7 @@ func TestPMWritePersistRead(t *testing.T) {
 }
 
 func TestPMCrashDropsUnpersisted(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	pm := NewPM(e, "pm", DefaultPMConfig(1<<20))
 	e.Go("io", func(p *sim.Proc) {
@@ -172,6 +181,7 @@ func TestPMCrashDropsUnpersisted(t *testing.T) {
 }
 
 func TestPMPartialPersist(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	pm := NewPM(e, "pm", DefaultPMConfig(1<<20))
 	e.Go("io", func(p *sim.Proc) {
@@ -188,6 +198,7 @@ func TestPMPartialPersist(t *testing.T) {
 }
 
 func TestPMOverlayNewestWins(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	pm := NewPM(e, "pm", DefaultPMConfig(1<<20))
 	e.Go("io", func(p *sim.Proc) {
@@ -209,6 +220,7 @@ func TestPMOverlayNewestWins(t *testing.T) {
 }
 
 func TestPMOverlayCompaction(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	pm := NewPM(e, "pm", DefaultPMConfig(1<<20))
 	e.Go("io", func(p *sim.Proc) {
@@ -230,6 +242,7 @@ func TestPMOverlayCompaction(t *testing.T) {
 }
 
 func TestDMACopyTime(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	cfg := DMAConfig{Channels: 2, SetupLat: time.Microsecond, BytesPerSec: 1e9, IntrLat: 5 * time.Microsecond}
 	d := NewDMA(e, cfg, nil)
@@ -252,6 +265,7 @@ func TestDMACopyTime(t *testing.T) {
 }
 
 func TestMemAccounting(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	m := NewMem(e, "nicmem", 1000, 0, 1e9)
 	if !m.Alloc(700) {

@@ -15,8 +15,8 @@ import (
 func kvCluster(t *testing.T) (*sim.Env, *core.Cluster) {
 	t.Helper()
 	cfg := core.DefaultConfig()
-	cfg.Spec.PMSize = 512 << 20
-	cfg.VolSize = 256 << 20
+	cfg.Spec.PMSize = 192 << 20
+	cfg.VolSize = 128 << 20
 	cfg.LogSize = 16 << 20
 	cfg.ChunkSize = 1 << 20
 	cfg.MaxClients = 2
@@ -49,6 +49,7 @@ func withClient(t *testing.T, d time.Duration, fn func(p *sim.Proc, c *dfs.Clien
 }
 
 func TestPutGetMemtable(t *testing.T) {
+	t.Parallel()
 	withClient(t, 30*time.Second, func(p *sim.Proc, c *dfs.Client) {
 		db, err := Open(p, c, "/db", DefaultOptions())
 		if err != nil {
@@ -67,6 +68,7 @@ func TestPutGetMemtable(t *testing.T) {
 }
 
 func TestFlushAndTableGet(t *testing.T) {
+	t.Parallel()
 	withClient(t, 120*time.Second, func(p *sim.Proc, c *dfs.Client) {
 		opt := DefaultOptions()
 		opt.MemtableBytes = 64 << 10
@@ -98,6 +100,7 @@ func TestFlushAndTableGet(t *testing.T) {
 }
 
 func TestOverwriteNewestWins(t *testing.T) {
+	t.Parallel()
 	withClient(t, 120*time.Second, func(p *sim.Proc, c *dfs.Client) {
 		opt := DefaultOptions()
 		opt.MemtableBytes = 8 << 10
@@ -126,6 +129,7 @@ func TestOverwriteNewestWins(t *testing.T) {
 }
 
 func TestCompactionMergesTables(t *testing.T) {
+	t.Parallel()
 	withClient(t, 300*time.Second, func(p *sim.Proc, c *dfs.Client) {
 		opt := DefaultOptions()
 		opt.MemtableBytes = 16 << 10
@@ -153,6 +157,7 @@ func TestCompactionMergesTables(t *testing.T) {
 }
 
 func TestBenchDriversRun(t *testing.T) {
+	t.Parallel()
 	withClient(t, 600*time.Second, func(p *sim.Proc, c *dfs.Client) {
 		db, _ := Open(p, c, "/db", DefaultOptions())
 		cfg := DefaultBenchConfig(400)
@@ -172,6 +177,7 @@ func TestBenchDriversRun(t *testing.T) {
 }
 
 func TestFillSyncDurability(t *testing.T) {
+	t.Parallel()
 	withClient(t, 300*time.Second, func(p *sim.Proc, c *dfs.Client) {
 		db, _ := Open(p, c, "/db", DefaultOptions())
 		cfg := DefaultBenchConfig(50)

@@ -13,6 +13,7 @@ func newTable(ttl time.Duration) (*sim.Env, *Table) {
 }
 
 func TestSingleWriter(t *testing.T) {
+	t.Parallel()
 	e, tb := newTable(time.Second)
 	e.Go("t", func(p *sim.Proc) {
 		ok, _ := tb.Acquire(5, "a", Write)
@@ -32,6 +33,7 @@ func TestSingleWriter(t *testing.T) {
 }
 
 func TestMultipleReaders(t *testing.T) {
+	t.Parallel()
 	e, tb := newTable(time.Second)
 	e.Go("t", func(p *sim.Proc) {
 		for _, h := range []string{"a", "b", "c"} {
@@ -48,6 +50,7 @@ func TestMultipleReaders(t *testing.T) {
 }
 
 func TestWriterImpliesRead(t *testing.T) {
+	t.Parallel()
 	e, tb := newTable(time.Second)
 	e.Go("t", func(p *sim.Proc) {
 		tb.Acquire(5, "a", Write)
@@ -66,6 +69,7 @@ func TestWriterImpliesRead(t *testing.T) {
 }
 
 func TestExpiry(t *testing.T) {
+	t.Parallel()
 	e, tb := newTable(10 * time.Millisecond)
 	e.Go("t", func(p *sim.Proc) {
 		tb.Acquire(5, "a", Write)
@@ -81,6 +85,7 @@ func TestExpiry(t *testing.T) {
 }
 
 func TestReacquireRefreshes(t *testing.T) {
+	t.Parallel()
 	e, tb := newTable(10 * time.Millisecond)
 	e.Go("t", func(p *sim.Proc) {
 		tb.Acquire(5, "a", Write)
@@ -95,6 +100,7 @@ func TestReacquireRefreshes(t *testing.T) {
 }
 
 func TestExpireHolder(t *testing.T) {
+	t.Parallel()
 	e, tb := newTable(time.Second)
 	e.Go("t", func(p *sim.Proc) {
 		tb.Acquire(5, "a", Write)
@@ -114,6 +120,7 @@ func TestExpireHolder(t *testing.T) {
 }
 
 func TestSnapshotRestore(t *testing.T) {
+	t.Parallel()
 	e, tb := newTable(time.Second)
 	e.Go("t", func(p *sim.Proc) {
 		tb.Acquire(5, "a", Write)
@@ -132,6 +139,7 @@ func TestSnapshotRestore(t *testing.T) {
 }
 
 func TestJournalHook(t *testing.T) {
+	t.Parallel()
 	e, tb := newTable(time.Second)
 	var grants, releases int
 	tb.Journal = func(rec Record, released bool) {

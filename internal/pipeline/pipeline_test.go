@@ -12,6 +12,7 @@ type item struct {
 }
 
 func TestItemsFlowThroughStages(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	var got []int
 	pl := New(e, "p", DefaultConfig(),
@@ -38,6 +39,7 @@ func TestItemsFlowThroughStages(t *testing.T) {
 }
 
 func TestPipelineOverlapsStages(t *testing.T) {
+	t.Parallel()
 	// Two stages of 1ms each: 10 items pipelined should take ~11ms, not
 	// 20ms (sequential).
 	e := sim.NewEnv(1)
@@ -64,6 +66,7 @@ func TestPipelineOverlapsStages(t *testing.T) {
 }
 
 func TestInOrderCommit(t *testing.T) {
+	t.Parallel()
 	// Stage a is parallel with variable latency (later items finish
 	// first); stage b is in-order and must still see submission order.
 	e := sim.NewEnv(1)
@@ -97,6 +100,7 @@ func TestInOrderCommit(t *testing.T) {
 }
 
 func TestDropFiltersItem(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	var got []int
 	pl := New(e, "p", DefaultConfig(),
@@ -120,6 +124,7 @@ func TestDropFiltersItem(t *testing.T) {
 }
 
 func TestInOrderDropStillAdvances(t *testing.T) {
+	t.Parallel()
 	// A dropped item in an in-order stage must not stall later items.
 	e := sim.NewEnv(1)
 	var got []int
@@ -150,6 +155,7 @@ func TestInOrderDropStillAdvances(t *testing.T) {
 }
 
 func TestDynamicScaling(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	cfg := Config{QueueCap: 64, ScaleThreshold: 5, MonitorInterval: 100 * time.Microsecond}
 	pl := New(e, "p", cfg,
@@ -175,6 +181,7 @@ func TestDynamicScaling(t *testing.T) {
 }
 
 func TestThreadBudgetCapsScaling(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	cfg := Config{QueueCap: 64, ScaleThreshold: 2, MonitorInterval: 100 * time.Microsecond, ThreadBudget: 2}
 	pl := New(e, "p", cfg,
@@ -197,6 +204,7 @@ func TestThreadBudgetCapsScaling(t *testing.T) {
 }
 
 func TestDrainOnEmptyPipelineReturns(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	pl := New(e, "p", DefaultConfig(),
 		Stage[item]{Name: "a", Work: func(p *sim.Proc, it item) bool { return true }},
@@ -213,6 +221,7 @@ func TestDrainOnEmptyPipelineReturns(t *testing.T) {
 }
 
 func TestKillStopsWorkers(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	pl := New(e, "p", DefaultConfig(),
 		Stage[item]{Name: "a", Work: func(p *sim.Proc, it item) bool {

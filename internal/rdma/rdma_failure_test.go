@@ -11,6 +11,7 @@ import (
 // TestSendToUnregisteredAfterCrash models a service that disappears
 // mid-connection (host crash): sends fail fast instead of blocking.
 func TestSendToUnregisteredAfterCrash(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	f := NewFabric(e, time.Microsecond)
 	a := f.NewNIC("a", 1e9)
@@ -37,6 +38,7 @@ func TestSendToUnregisteredAfterCrash(t *testing.T) {
 // TestCallTimeoutWhenHandlerDies verifies CallTimeout returns when a
 // handler is killed mid-request.
 func TestCallTimeoutWhenHandlerDies(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	f := NewFabric(e, time.Microsecond)
 	a := f.NewNIC("a", 1e9)
@@ -71,6 +73,7 @@ func TestCallTimeoutWhenHandlerDies(t *testing.T) {
 // a small low-latency message is not serialized behind a bulk transfer
 // backlog.
 func TestLowLatPriorityBeatsBulkQueueing(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	f := NewFabric(e, 0)
 	a := f.NewNIC("a", 1e9) // 1 GB/s: 4 MB takes 4 ms

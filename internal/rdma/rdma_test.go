@@ -16,6 +16,7 @@ func testFabric(e *sim.Env) (*Fabric, *NIC, *NIC) {
 }
 
 func TestCallRoundTrip(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	_, a, b := testFabric(e)
 	q := sim.NewQueue[*Msg](e, 0)
@@ -38,6 +39,7 @@ func TestCallRoundTrip(t *testing.T) {
 }
 
 func TestCallUnreachableService(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	_, a, b := testFabric(e)
 	e.Go("client", func(p *sim.Proc) {
@@ -50,6 +52,7 @@ func TestCallUnreachableService(t *testing.T) {
 }
 
 func TestCallTimeoutOnDeadServer(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	_, a, b := testFabric(e)
 	q := sim.NewQueue[*Msg](e, 0)
@@ -67,6 +70,7 @@ func TestCallTimeoutOnDeadServer(t *testing.T) {
 }
 
 func TestSendDeliversWithoutReply(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	_, a, b := testFabric(e)
 	q := sim.NewQueue[*Msg](e, 0)
@@ -92,6 +96,7 @@ func TestSendDeliversWithoutReply(t *testing.T) {
 }
 
 func TestRDMAWriteReadPMRegion(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	_, a, b := testFabric(e)
 	pm := hw.NewPM(e, "pm", hw.DefaultPMConfig(1<<20))
@@ -120,6 +125,7 @@ func TestRDMAWriteReadPMRegion(t *testing.T) {
 }
 
 func TestRDMAWriteChargesWireTime(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	_, a, b := testFabric(e) // 1 GB/s
 	pm := hw.NewPM(e, "pm", hw.PMConfig{Size: 1 << 20, Bandwidth: 100e9})
@@ -138,6 +144,7 @@ func TestRDMAWriteChargesWireTime(t *testing.T) {
 }
 
 func TestSharedEgressSaturation(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	_, a, b := testFabric(e) // 1 GB/s egress on a
 	pm := hw.NewPM(e, "pm", hw.PMConfig{Size: 8 << 20, Bandwidth: 100e9})
@@ -160,6 +167,7 @@ func TestSharedEgressSaturation(t *testing.T) {
 }
 
 func TestQPCachePenalty(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	f := NewFabric(e, 0)
 	a := f.NewNIC("a", 1e12)
@@ -191,6 +199,7 @@ func TestQPCachePenalty(t *testing.T) {
 }
 
 func TestFabricByteAccounting(t *testing.T) {
+	t.Parallel()
 	e := sim.NewEnv(1)
 	f, a, b := testFabric(e)
 	pm := hw.NewPM(e, "pm", hw.PMConfig{Size: 1 << 16, Bandwidth: 1e12})

@@ -26,6 +26,7 @@ func (ev *Event) Value() any { return ev.val }
 
 // Trigger fires the event with val, waking all waiters at the current
 // virtual time. Triggering an already-triggered event is a no-op.
+// The wake-ups are typed records: triggering allocates nothing.
 func (ev *Event) Trigger(val any) { ev.trigger(val) }
 
 func (ev *Event) trigger(val any) {

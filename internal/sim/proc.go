@@ -9,11 +9,12 @@ import (
 type killSignal struct{}
 
 // Proc is a simulation process: a goroutine that runs cooperatively under
-// the environment's scheduler. A process blocks by calling Sleep, Wait,
+// the environment's event loop. A process blocks by calling Sleep, Wait,
 // Acquire and friends; while blocked, virtual time advances.
 type Proc struct {
 	env  *Env
 	name string
+	fn   func(*Proc)
 
 	resume chan struct{}
 
@@ -27,6 +28,11 @@ type Proc struct {
 	interrupt     bool // set by Interrupt; consumed by interruptible waits
 	interruptible bool // true while blocked in an interruptible wait
 
+	// rw is the process's resource-wait record. A process queues on at most
+	// one Resource at a time, so embedding the record makes contended
+	// Acquire allocation-free.
+	rw rwaiter
+
 	// Done triggers when the process function returns or is killed.
 	Done *Event
 }
@@ -37,20 +43,22 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{
 		env:    e,
 		name:   name,
+		fn:     fn,
 		resume: make(chan struct{}),
 		Done:   NewEvent(e),
 	}
 	e.live++
 	e.procSeq++
 	e.procs = append(e.procs, p)
-	e.Schedule(0, func() {
-		go p.top(fn)
-		e.dispatch(p)
-	})
+	e.seq++
+	e.eq.push(item{t: e.now, seq: e.seq, kind: evStart, p: p})
 	return p
 }
 
-func (p *Proc) top(fn func(*Proc)) {
+// top is the process goroutine body. On termination — normal return or
+// kill-unwind — it keeps driving the event loop from this dying goroutine
+// and hands control onward before exiting.
+func (p *Proc) top() {
 	<-p.resume
 	defer func() {
 		r := recover()
@@ -64,9 +72,9 @@ func (p *Proc) top(fn func(*Proc)) {
 		p.terminated = true
 		p.env.live--
 		p.Done.trigger(nil)
-		p.env.yielded <- struct{}{}
+		p.env.handoff(p.env.loop(nil))
 	}()
-	fn(p)
+	p.fn(p)
 }
 
 // Env returns the environment that owns the process.
@@ -81,10 +89,26 @@ func (p *Proc) Now() Time { return p.env.now }
 // block parks the process until a matching wake-up dispatches it again.
 // Callers must have armed a wake-up (timer, event waiter, resource grant)
 // carrying the returned generation before calling block.
+//
+// Rather than handing control to a central scheduler goroutine, the
+// blocking process continues the event loop itself. If the next runnable
+// action is its own wake-up it simply keeps running (no channel operation);
+// otherwise it hands control onward with a single channel rendezvous and
+// parks.
 func (p *Proc) block() {
-	p.env.yielded <- struct{}{}
-	<-p.resume
+	e := p.env
+	if next := e.loop(p); next != p {
+		e.handoff(next)
+		<-p.resume
+	}
 	if p.killed {
+		// Unwinding from a kill: if we hold a freshly-granted resource
+		// unit (granted while queued, before the kill fired), return it
+		// as we unwind.
+		if p.rw.granted && p.rw.r != nil {
+			p.rw.r.release()
+			p.rw.r = nil
+		}
 		panic(killSignal{})
 	}
 }
@@ -127,14 +151,9 @@ func (p *Proc) Kill() {
 	}
 	p.killed = true
 	if p.blocked {
-		gen := p.gen
-		p.env.scheduleAt(p.env.now, func() {
-			if p.terminated || p.gen != gen || !p.blocked {
-				return
-			}
-			p.blocked = false
-			p.env.dispatch(p)
-		})
+		// Wake the victim now (at its current generation) so its block()
+		// observes the kill and unwinds.
+		p.env.wakeAt(p.env.now, p, p.gen)
 	}
 	// If the process is currently runnable (e.g. it is the caller's peer
 	// mid-dispatch) the kill flag is checked at its next block().
@@ -150,14 +169,7 @@ func (p *Proc) Interrupt() {
 	}
 	p.interrupt = true
 	if p.blocked && p.interruptible {
-		gen := p.gen
-		p.env.scheduleAt(p.env.now, func() {
-			if p.terminated || p.gen != gen || !p.blocked {
-				return
-			}
-			p.blocked = false
-			p.env.dispatch(p)
-		})
+		p.env.wakeAt(p.env.now, p, p.gen)
 	}
 }
 
@@ -200,6 +212,9 @@ func (p *Proc) Wait(ev *Event) any {
 func (p *Proc) WaitTimeout(ev *Event, d time.Duration) (val any, ok bool) {
 	if ev.done {
 		return ev.val, true
+	}
+	if d < 0 {
+		d = 0
 	}
 	gen := p.arm()
 	ev.addWaiter(p, gen)

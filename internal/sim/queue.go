@@ -3,14 +3,22 @@ package sim
 // Queue is a bounded FIFO connecting processes, analogous to a Go channel
 // in virtual time. A capacity of 0 means unbounded. Closed queues reject
 // puts and let getters drain remaining items, after which Get reports !ok.
+//
+// Fast paths: Put with buffer space (or a waiting getter) and Get with a
+// buffered item (or a waiting putter) complete inline without blocking, and
+// the wake-ups they schedule are typed records. Wait records are recycled
+// through a per-queue free list, so steady-state producer/consumer traffic
+// does not allocate.
 type Queue[T any] struct {
 	env    *Env
 	limit  int
 	items  []T
+	head   int // index of the oldest buffered item within items
 	closed bool
 
 	getters []*qwaiter[T]
 	putters []*qwaiter[T]
+	free    []*qwaiter[T]
 }
 
 type qwaiter[T any] struct {
@@ -27,10 +35,54 @@ func NewQueue[T any](e *Env, capacity int) *Queue[T] {
 }
 
 // Len returns the number of buffered items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
 
 // Closed reports whether Close has been called.
 func (q *Queue[T]) Closed() bool { return q.closed }
+
+// newWaiter returns a zeroed wait record, reusing a recycled one if
+// available.
+func (q *Queue[T]) newWaiter() *qwaiter[T] {
+	if n := len(q.free); n > 0 {
+		w := q.free[n-1]
+		q.free = q.free[:n-1]
+		return w
+	}
+	return new(qwaiter[T])
+}
+
+// recycle returns a record whose wait completed (handed or aborted) to the
+// free list. Records abandoned by kill-unwinding are never recycled — their
+// frames do not resume — so a recycled record is never still referenced.
+func (q *Queue[T]) recycle(w *qwaiter[T]) {
+	*w = qwaiter[T]{}
+	q.free = append(q.free, w)
+}
+
+// pushItem appends v to the buffer, compacting the consumed prefix when it
+// dominates the slice.
+func (q *Queue[T]) pushItem(v T) {
+	if q.head > 32 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		clear(q.items[n:]) // drop moved-from references for GC
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	q.items = append(q.items, v)
+}
+
+// popItem removes and returns the oldest buffered item.
+func (q *Queue[T]) popItem() T {
+	v := q.items[q.head]
+	var zero T
+	q.items[q.head] = zero // drop the reference for GC
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return v
+}
 
 func (q *Queue[T]) popLiveGetter() *qwaiter[T] {
 	for len(q.getters) > 0 {
@@ -68,14 +120,17 @@ func (q *Queue[T]) Put(p *Proc, v T) bool {
 		q.env.wakeAt(q.env.now, g.p, g.gen)
 		return true
 	}
-	if q.limit == 0 || len(q.items) < q.limit {
-		q.items = append(q.items, v)
+	if q.limit == 0 || q.Len() < q.limit {
+		q.pushItem(v)
 		return true
 	}
-	w := &qwaiter[T]{p: p, gen: p.arm(), val: v}
+	w := q.newWaiter()
+	w.p, w.gen, w.val = p, p.arm(), v
 	q.putters = append(q.putters, w)
 	p.block()
-	return w.handed && !w.aborted
+	ok := w.handed && !w.aborted
+	q.recycle(w)
+	return ok
 }
 
 // TryPut appends v without blocking; it reports success.
@@ -89,8 +144,8 @@ func (q *Queue[T]) TryPut(v T) bool {
 		q.env.wakeAt(q.env.now, g.p, g.gen)
 		return true
 	}
-	if q.limit == 0 || len(q.items) < q.limit {
-		q.items = append(q.items, v)
+	if q.limit == 0 || q.Len() < q.limit {
+		q.pushItem(v)
 		return true
 	}
 	return false
@@ -100,9 +155,8 @@ func (q *Queue[T]) TryPut(v T) bool {
 // empty. ok is false if the queue closed and drained.
 func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
 	for {
-		if len(q.items) > 0 {
-			v = q.items[0]
-			q.items = q.items[1:]
+		if q.Len() > 0 {
+			v = q.popItem()
 			q.admitPutter()
 			return v, true
 		}
@@ -115,25 +169,29 @@ func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
 			var zero T
 			return zero, false
 		}
-		w := &qwaiter[T]{p: p, gen: p.arm()}
+		w := q.newWaiter()
+		w.p, w.gen = p, p.arm()
 		q.getters = append(q.getters, w)
 		p.block()
 		if w.handed {
-			return w.val, true
+			v = w.val
+			q.recycle(w)
+			return v, true
 		}
 		if w.aborted {
+			q.recycle(w)
 			var zero T
 			return zero, false
 		}
-		// Spurious wake (e.g. racing close+put); loop and re-check.
+		// Spurious wake (e.g. racing close+put); loop and re-check. The
+		// record may still be queued, so it is not recycled.
 	}
 }
 
 // TryGet removes and returns the oldest item without blocking.
 func (q *Queue[T]) TryGet() (v T, ok bool) {
-	if len(q.items) > 0 {
-		v = q.items[0]
-		q.items = q.items[1:]
+	if q.Len() > 0 {
+		v = q.popItem()
 		q.admitPutter()
 		return v, true
 	}
@@ -148,11 +206,11 @@ func (q *Queue[T]) TryGet() (v T, ok bool) {
 
 // admitPutter moves one blocked putter's value into freed buffer space.
 func (q *Queue[T]) admitPutter() {
-	if q.limit == 0 || len(q.items) >= q.limit {
+	if q.limit == 0 || q.Len() >= q.limit {
 		return
 	}
 	if pu := q.popLivePutter(); pu != nil {
-		q.items = append(q.items, pu.val)
+		q.pushItem(pu.val)
 		pu.handed = true
 		q.env.wakeAt(q.env.now, pu.p, pu.gen)
 	}

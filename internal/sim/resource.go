@@ -1,14 +1,13 @@
 package sim
 
-import "container/heap"
-
 // Resource models contended capacity (CPU cores, DMA channels, link slots).
 // Waiters are served highest-priority first, FIFO within a priority level.
 //
 // Kill-safety: a process killed while waiting is skipped when capacity
 // frees; a process killed at the instant it is granted releases the grant
-// as it unwinds. Holders killed after Acquire returns must arrange release
-// themselves (typically `defer r.Release()`), which runs during unwinding.
+// as it unwinds (block() returns the unit, see Proc.block). Holders killed
+// after Acquire returns must arrange release themselves (typically
+// `defer r.Release()`), which runs during unwinding.
 type Resource struct {
 	env   *Env
 	cap   int
@@ -20,8 +19,12 @@ type Resource struct {
 	waitPeak int
 }
 
+// rwaiter is a resource-wait record. One is embedded in every Proc (a
+// process queues on at most one Resource at a time), so contended Acquire
+// allocates nothing.
 type rwaiter struct {
 	p       *Proc
+	r       *Resource // set while queued/granted; cleared on normal return
 	gen     uint64
 	prio    int
 	seq     uint64
@@ -29,31 +32,63 @@ type rwaiter struct {
 	index   int
 }
 
+// rwaiterHeap is a hand-specialized binary max-heap of waiter records
+// ordered by (prio desc, seq asc) — no container/heap interface boxing.
 type rwaiterHeap []*rwaiter
 
 func (h rwaiterHeap) Len() int { return len(h) }
-func (h rwaiterHeap) Less(i, j int) bool {
+
+func (h rwaiterHeap) less(i, j int) bool {
 	if h[i].prio != h[j].prio {
 		return h[i].prio > h[j].prio // higher priority first
 	}
 	return h[i].seq < h[j].seq
 }
-func (h rwaiterHeap) Swap(i, j int) {
+
+func (h rwaiterHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
 	h[j].index = j
 }
-func (h *rwaiterHeap) Push(x any) {
-	w := x.(*rwaiter)
+
+func (h *rwaiterHeap) push(w *rwaiter) {
 	w.index = len(*h)
 	*h = append(*h, w)
+	a := *h
+	i := w.index
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !a.less(i, parent) {
+			break
+		}
+		a.swap(i, parent)
+		i = parent
+	}
 }
-func (h *rwaiterHeap) Pop() any {
-	old := *h
-	n := len(old)
-	w := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+func (h *rwaiterHeap) pop() *rwaiter {
+	a := *h
+	n := len(a) - 1
+	a.swap(0, n)
+	w := a[n]
+	a[n] = nil
+	*h = a[:n]
+	a = a[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && a.less(c+1, c) {
+			c++
+		}
+		if !a.less(c, i) {
+			break
+		}
+		a.swap(i, c)
+		i = c
+	}
 	return w
 }
 
@@ -90,7 +125,7 @@ func dead(p *Proc) bool { return p.killed || p.terminated }
 // purgeDeadTop drops dead waiters from the head of the queue.
 func (r *Resource) purgeDeadTop() {
 	for r.q.Len() > 0 && dead(r.q[0].p) {
-		heap.Pop(&r.q)
+		r.q.pop()
 	}
 }
 
@@ -105,19 +140,15 @@ func (r *Resource) Acquire(p *Proc, prio int) {
 		}
 	}
 	r.seq++
-	w := &rwaiter{p: p, gen: p.arm(), prio: prio, seq: r.seq}
-	heap.Push(&r.q, w)
+	w := &p.rw
+	*w = rwaiter{p: p, r: r, gen: p.arm(), prio: prio, seq: r.seq}
+	r.q.push(w)
 	if r.q.Len() > r.waitPeak {
 		r.waitPeak = r.q.Len()
 	}
 	r.grantNext()
-	defer func() {
-		// If we were granted but are unwinding from a kill, return the unit.
-		if w.granted && p.killed {
-			r.release()
-		}
-	}()
-	p.block()
+	p.block() // on kill-unwind, block() releases the grant via w
+	w.r = nil // normal return: the caller now owns the unit
 }
 
 // TryAcquire obtains a unit without blocking; it reports success.
@@ -145,7 +176,7 @@ func (r *Resource) release() {
 
 func (r *Resource) grantNext() {
 	for r.inUse < r.cap && r.q.Len() > 0 {
-		w := heap.Pop(&r.q).(*rwaiter)
+		w := r.q.pop()
 		if dead(w.p) {
 			continue
 		}

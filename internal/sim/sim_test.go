@@ -6,6 +6,7 @@ import (
 )
 
 func TestSleepAdvancesClock(t *testing.T) {
+	t.Parallel()
 	e := NewEnv(1)
 	var done Time
 	e.Go("sleeper", func(p *Proc) {
@@ -19,6 +20,7 @@ func TestSleepAdvancesClock(t *testing.T) {
 }
 
 func TestSequentialSleeps(t *testing.T) {
+	t.Parallel()
 	e := NewEnv(1)
 	var order []int
 	e.Go("a", func(p *Proc) {
@@ -41,6 +43,7 @@ func TestSequentialSleeps(t *testing.T) {
 }
 
 func TestZeroSleepIsNoop(t *testing.T) {
+	t.Parallel()
 	e := NewEnv(1)
 	ran := false
 	e.Go("z", func(p *Proc) {
@@ -54,6 +57,7 @@ func TestZeroSleepIsNoop(t *testing.T) {
 }
 
 func TestEventWakesAllWaiters(t *testing.T) {
+	t.Parallel()
 	e := NewEnv(1)
 	ev := NewEvent(e)
 	woke := 0
@@ -77,6 +81,7 @@ func TestEventWakesAllWaiters(t *testing.T) {
 }
 
 func TestWaitOnTriggeredEventReturnsImmediately(t *testing.T) {
+	t.Parallel()
 	e := NewEnv(1)
 	ev := NewEvent(e)
 	ev.Trigger("x")
@@ -95,6 +100,7 @@ func TestWaitOnTriggeredEventReturnsImmediately(t *testing.T) {
 }
 
 func TestDoubleTriggerIsNoop(t *testing.T) {
+	t.Parallel()
 	e := NewEnv(1)
 	ev := NewEvent(e)
 	ev.Trigger(1)
@@ -105,6 +111,7 @@ func TestDoubleTriggerIsNoop(t *testing.T) {
 }
 
 func TestWaitTimeout(t *testing.T) {
+	t.Parallel()
 	e := NewEnv(1)
 	ev := NewEvent(e)
 	var ok1, ok2 bool
@@ -128,6 +135,7 @@ func TestWaitTimeout(t *testing.T) {
 }
 
 func TestWaitAny(t *testing.T) {
+	t.Parallel()
 	e := NewEnv(1)
 	a, b := NewEvent(e), NewEvent(e)
 	var idx int
@@ -145,6 +153,7 @@ func TestWaitAny(t *testing.T) {
 }
 
 func TestResourceMutualExclusion(t *testing.T) {
+	t.Parallel()
 	e := NewEnv(1)
 	r := NewResource(e, 1)
 	var maxConc, conc int
@@ -170,6 +179,7 @@ func TestResourceMutualExclusion(t *testing.T) {
 }
 
 func TestResourcePriority(t *testing.T) {
+	t.Parallel()
 	e := NewEnv(1)
 	r := NewResource(e, 1)
 	var order []string
@@ -197,6 +207,7 @@ func TestResourcePriority(t *testing.T) {
 }
 
 func TestResourceCapacityTwo(t *testing.T) {
+	t.Parallel()
 	e := NewEnv(1)
 	r := NewResource(e, 2)
 	for i := 0; i < 4; i++ {
@@ -213,6 +224,7 @@ func TestResourceCapacityTwo(t *testing.T) {
 }
 
 func TestTryAcquire(t *testing.T) {
+	t.Parallel()
 	e := NewEnv(1)
 	r := NewResource(e, 1)
 	e.Go("u", func(p *Proc) {
@@ -232,6 +244,7 @@ func TestTryAcquire(t *testing.T) {
 }
 
 func TestKillWaiterSkippedOnGrant(t *testing.T) {
+	t.Parallel()
 	e := NewEnv(1)
 	r := NewResource(e, 1)
 	got := ""
@@ -267,6 +280,7 @@ func TestKillWaiterSkippedOnGrant(t *testing.T) {
 }
 
 func TestKillHolderWithDeferredRelease(t *testing.T) {
+	t.Parallel()
 	e := NewEnv(1)
 	r := NewResource(e, 1)
 	acquiredAt := Time(-1)
@@ -293,6 +307,7 @@ func TestKillHolderWithDeferredRelease(t *testing.T) {
 }
 
 func TestQueuePutGetFIFO(t *testing.T) {
+	t.Parallel()
 	e := NewEnv(1)
 	q := NewQueue[int](e, 0)
 	var got []int
@@ -320,6 +335,7 @@ func TestQueuePutGetFIFO(t *testing.T) {
 }
 
 func TestQueueBoundedBlocksPutter(t *testing.T) {
+	t.Parallel()
 	e := NewEnv(1)
 	q := NewQueue[int](e, 2)
 	var putDone Time
@@ -340,6 +356,7 @@ func TestQueueBoundedBlocksPutter(t *testing.T) {
 }
 
 func TestQueueGetBlocksUntilPut(t *testing.T) {
+	t.Parallel()
 	e := NewEnv(1)
 	q := NewQueue[string](e, 0)
 	var got string
@@ -359,6 +376,7 @@ func TestQueueGetBlocksUntilPut(t *testing.T) {
 }
 
 func TestQueueClose(t *testing.T) {
+	t.Parallel()
 	e := NewEnv(1)
 	q := NewQueue[int](e, 0)
 	var results []bool
@@ -386,6 +404,7 @@ func TestQueueClose(t *testing.T) {
 }
 
 func TestQueueTryOps(t *testing.T) {
+	t.Parallel()
 	e := NewEnv(1)
 	q := NewQueue[int](e, 1)
 	e.Go("u", func(p *Proc) {
@@ -406,6 +425,7 @@ func TestQueueTryOps(t *testing.T) {
 }
 
 func TestInterruptCutsSleepShort(t *testing.T) {
+	t.Parallel()
 	e := NewEnv(1)
 	var full bool
 	var at Time
@@ -428,6 +448,7 @@ func TestInterruptCutsSleepShort(t *testing.T) {
 }
 
 func TestInterruptDoesNotWakeResourceWait(t *testing.T) {
+	t.Parallel()
 	e := NewEnv(1)
 	r := NewResource(e, 1)
 	var acquiredAt Time
@@ -454,6 +475,7 @@ func TestInterruptDoesNotWakeResourceWait(t *testing.T) {
 }
 
 func TestRunUntilStopsClock(t *testing.T) {
+	t.Parallel()
 	e := NewEnv(1)
 	ticks := 0
 	e.Go("t", func(p *Proc) {
@@ -476,6 +498,7 @@ func TestRunUntilStopsClock(t *testing.T) {
 }
 
 func TestProcDoneEvent(t *testing.T) {
+	t.Parallel()
 	e := NewEnv(1)
 	p1 := e.Go("worker", func(p *Proc) {
 		p.Sleep(2 * time.Millisecond)
@@ -492,6 +515,7 @@ func TestProcDoneEvent(t *testing.T) {
 }
 
 func TestKillTriggersDone(t *testing.T) {
+	t.Parallel()
 	e := NewEnv(1)
 	victim := e.Go("v", func(p *Proc) {
 		p.Sleep(time.Hour)
@@ -513,6 +537,7 @@ func TestKillTriggersDone(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
+	t.Parallel()
 	run := func() []Time {
 		e := NewEnv(7)
 		var log []Time
@@ -547,6 +572,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestYieldOrdering(t *testing.T) {
+	t.Parallel()
 	e := NewEnv(1)
 	var order []string
 	e.Go("a", func(p *Proc) {

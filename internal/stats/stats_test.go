@@ -6,6 +6,7 @@ import (
 )
 
 func TestLatencyPercentiles(t *testing.T) {
+	t.Parallel()
 	var l Latency
 	for i := 1; i <= 1000; i++ {
 		l.Add(time.Duration(i) * time.Microsecond)
@@ -31,6 +32,7 @@ func TestLatencyPercentiles(t *testing.T) {
 }
 
 func TestLatencyEmpty(t *testing.T) {
+	t.Parallel()
 	var l Latency
 	if l.Mean() != 0 || l.Percentile(99) != 0 || l.N() != 0 {
 		t.Error("empty latency should report zeros")
@@ -38,6 +40,7 @@ func TestLatencyEmpty(t *testing.T) {
 }
 
 func TestLatencyAddAfterPercentile(t *testing.T) {
+	t.Parallel()
 	var l Latency
 	l.Add(10)
 	_ = l.Percentile(50)
@@ -48,6 +51,7 @@ func TestLatencyAddAfterPercentile(t *testing.T) {
 }
 
 func TestCounterRate(t *testing.T) {
+	t.Parallel()
 	var c Counter
 	c.Add(1e6)
 	c.Add(1e6)
@@ -60,6 +64,7 @@ func TestCounterRate(t *testing.T) {
 }
 
 func TestTimeSeries(t *testing.T) {
+	t.Parallel()
 	ts := NewTimeSeries(time.Second)
 	ts.Add(100*time.Millisecond, 10)
 	ts.Add(900*time.Millisecond, 5)
@@ -78,6 +83,7 @@ func TestTimeSeries(t *testing.T) {
 }
 
 func TestUtilization(t *testing.T) {
+	t.Parallel()
 	u := NewUtilization()
 	u.Add("dfs", 2*time.Second)
 	u.Add("app", 500*time.Millisecond)

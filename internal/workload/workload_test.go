@@ -12,9 +12,11 @@ import (
 
 func testCluster(t *testing.T, clients int) (*sim.Env, *core.Cluster) {
 	t.Helper()
+	// Small PM: the workloads here move at most ~8 MB, and per-machine PM
+	// array size dominates wall-clock cost (page faulting, not simulation).
 	cfg := core.DefaultConfig()
-	cfg.Spec.PMSize = 768 << 20
-	cfg.VolSize = 384 << 20
+	cfg.Spec.PMSize = 256 << 20
+	cfg.VolSize = 128 << 20
 	cfg.LogSize = 16 << 20
 	cfg.ChunkSize = 1 << 20
 	cfg.MaxClients = clients
@@ -29,6 +31,7 @@ func testCluster(t *testing.T, clients int) (*sim.Env, *core.Cluster) {
 }
 
 func TestWriteAndReadBench(t *testing.T) {
+	t.Parallel()
 	env, cl := testCluster(t, 1)
 	done := false
 	env.Go("bench", func(p *sim.Proc) {
@@ -61,6 +64,7 @@ func TestWriteAndReadBench(t *testing.T) {
 }
 
 func TestLatencyBench(t *testing.T) {
+	t.Parallel()
 	env, cl := testCluster(t, 1)
 	done := false
 	env.Go("bench", func(p *sim.Proc) {
@@ -87,6 +91,7 @@ func TestLatencyBench(t *testing.T) {
 }
 
 func TestStreamclusterSoloVsInterfered(t *testing.T) {
+	t.Parallel()
 	// Solo: job on an otherwise idle CPU finishes in SoloTime.
 	env, cl := testCluster(t, 1)
 	cpu := cl.Machines[0].HostCPU
@@ -123,6 +128,7 @@ func TestStreamclusterSoloVsInterfered(t *testing.T) {
 }
 
 func TestFilebenchFileserver(t *testing.T) {
+	t.Parallel()
 	env, cl := testCluster(t, 1)
 	done := false
 	env.Go("fb", func(p *sim.Proc) {
@@ -145,6 +151,7 @@ func TestFilebenchFileserver(t *testing.T) {
 }
 
 func TestFilebenchVarmailFsyncs(t *testing.T) {
+	t.Parallel()
 	env, cl := testCluster(t, 1)
 	done := false
 	var syncs int64
@@ -172,6 +179,10 @@ func TestFilebenchVarmailFsyncs(t *testing.T) {
 }
 
 func TestTencentSortCorrectness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 20k-record sort takes ~30s of simulation; skipped in -short")
+	}
+	t.Parallel()
 	env, cl := testCluster(t, 8)
 	done := false
 	env.Go("sort", func(p *sim.Proc) {
@@ -206,6 +217,7 @@ func TestTencentSortCorrectness(t *testing.T) {
 }
 
 func TestIperfConsumesBandwidth(t *testing.T) {
+	t.Parallel()
 	env, cl := testCluster(t, 1)
 	ip := StartIperf(env, cl.Machines[0].Port, cl.Machines[1].Port, 256<<10)
 	env.RunUntil(time.Second)

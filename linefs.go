@@ -198,16 +198,18 @@ func (c *Cluster) RunLimited(fn func(p *Proc), limit time.Duration) bool {
 	if limit <= 0 {
 		limit = time.Hour
 	}
-	done := false
-	c.env.Go("app", func(p *sim.Proc) {
+	pr := c.env.Go("app", func(p *sim.Proc) {
 		fn(p)
-		done = true
 	})
-	deadline := time.Duration(c.env.Now()) + limit
-	for time.Duration(c.env.Now()) < deadline && !done {
-		c.env.RunFor(50 * time.Millisecond)
-	}
-	return done
+	// Run straight to the app's completion event rather than polling the
+	// clock in 50 ms steps; background activity stops burning events the
+	// moment fn returns.
+	c.env.Go("app/wait", func(p *sim.Proc) {
+		p.WaitTimeout(pr.Done, limit)
+		c.env.Stop()
+	})
+	c.env.Run()
+	return pr.Done.Triggered()
 }
 
 // RunFor advances virtual time by d (background activity continues).

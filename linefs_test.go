@@ -7,6 +7,7 @@ import (
 )
 
 func TestQuickstartAllSystems(t *testing.T) {
+	t.Parallel()
 	for _, sys := range []System{LineFS, LineFSNotParallel, Assise, AssiseBgRepl, AssiseHyperloop} {
 		t.Run(sys.String(), func(t *testing.T) {
 			opts := Defaults()
@@ -48,6 +49,7 @@ func TestQuickstartAllSystems(t *testing.T) {
 }
 
 func TestPublicStats(t *testing.T) {
+	t.Parallel()
 	opts := Defaults()
 	opts.VolSize = 256 << 20
 	opts.LogSize = 16 << 20
@@ -73,6 +75,7 @@ func TestPublicStats(t *testing.T) {
 }
 
 func TestPublicCrashRecovery(t *testing.T) {
+	t.Parallel()
 	opts := Defaults()
 	opts.VolSize = 256 << 20
 	opts.LogSize = 16 << 20
@@ -107,6 +110,7 @@ func TestPublicCrashRecovery(t *testing.T) {
 }
 
 func TestCrashInjectionOnAssiseRejected(t *testing.T) {
+	t.Parallel()
 	opts := Defaults()
 	opts.System = Assise
 	opts.VolSize = 256 << 20
