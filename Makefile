@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test-short test race-sim test-full bench kernelbench clean
+.PHONY: ci vet build lint test-short test race selfcheck test-full bench kernelbench clean
 
-ci: vet build test-short race-sim
+ci: vet build lint test-short race selfcheck
 
 vet:
 	$(GO) vet ./...
@@ -14,15 +14,26 @@ vet:
 build:
 	$(GO) build ./...
 
+# Determinism lint suite (DESIGN.md §8): nodeterm, maporder, procctx,
+# wirecheck over every package in the module. Zero findings is the gate.
+lint:
+	$(GO) run ./cmd/linefs-lint ./...
+
 # Fast development loop: skips the ~30s TencentSort workload and the
 # baseline cross-check suites. Target: under a minute on one core.
 test-short:
 	$(GO) test -short ./...
 
 # The simulation kernel hands control between goroutines; the race detector
-# over the sim package guards the handoff protocol.
-race-sim:
-	$(GO) test -race -short ./internal/sim/...
+# guards the handoff protocol. Suites are -short-gated, so the whole module
+# fits under the race gate.
+race:
+	$(GO) test -race -short ./...
+
+# Runtime determinism gate (DESIGN.md §8): run every experiment twice with
+# the sim-sanitizer enabled and fail on digest or output divergence.
+selfcheck:
+	$(GO) run ./cmd/linefs-bench -selfcheck -exp all
 
 # Full suite (what the roadmap calls tier-1).
 test:

@@ -9,15 +9,22 @@
 //	linefs-bench -exp table3 -full    # paper-scale sizes (slow)
 //	linefs-bench -list                # enumerate experiments
 //	linefs-bench -kernelbench         # DES kernel microbench -> BENCH_kernel.json
+//	linefs-bench -selfcheck           # run each experiment twice, fail on digest divergence
 //
 // Every experiment owns a self-contained sim.Env with a deterministic seed,
 // so -j N produces byte-identical tables to -j 1; only wall-clock changes.
 // Per-experiment timing goes to stderr to keep stdout reproducible.
+//
+// -selfcheck is the runtime half of the determinism contract (DESIGN.md §8):
+// each selected experiment runs twice with the sim-sanitizer enabled, and
+// the run fails unless both executions fold the exact same event sequence
+// into the same digest and render byte-identical tables.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -27,41 +34,52 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process boundary, so tests can drive the CLI with
+// captured streams and compare stdout bytes across -j values.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("linefs-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp    = flag.String("exp", "all", "experiment name (table1..table3, fig4..fig10) or 'all'")
-		full   = flag.Bool("full", false, "run at paper-scale sizes instead of quick scale")
-		seed   = flag.Int64("seed", 42, "simulation seed")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		j      = flag.Int("j", runtime.GOMAXPROCS(0), "experiments to run concurrently")
-		kbench = flag.Bool("kernelbench", false, "run DES kernel microbenchmarks and write BENCH_kernel.json")
-		kout   = flag.String("kernelbench-out", "BENCH_kernel.json", "output path for -kernelbench")
+		exp    = fs.String("exp", "all", "experiment name (table1..table3, fig4..fig10) or 'all'")
+		full   = fs.Bool("full", false, "run at paper-scale sizes instead of quick scale")
+		seed   = fs.Int64("seed", 42, "simulation seed")
+		list   = fs.Bool("list", false, "list experiments and exit")
+		j      = fs.Int("j", runtime.GOMAXPROCS(0), "experiments to run concurrently")
+		kbench = fs.Bool("kernelbench", false, "run DES kernel microbenchmarks and write BENCH_kernel.json")
+		kout   = fs.String("kernelbench-out", "BENCH_kernel.json", "output path for -kernelbench")
+		self   = fs.Bool("selfcheck", false, "run each experiment twice and fail on sim-sanitizer digest divergence")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, e := range append(bench.All(), bench.Ablations()...) {
-			fmt.Printf("  %-12s %s\n", e.Name, e.Desc)
+			fmt.Fprintf(stdout, "  %-12s %s\n", e.Name, e.Desc)
 		}
-		return
+		return 0
 	}
 
 	if *kbench {
 		cur, err := bench.WriteKernelBench(*kout)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "kernelbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "kernelbench: %v\n", err)
+			return 1
 		}
 		base := bench.KernelBaseline
-		fmt.Printf("kernel events/sec:          %12.0f (baseline %12.0f, %.1fx)\n",
+		fmt.Fprintf(stdout, "kernel events/sec:          %12.0f (baseline %12.0f, %.1fx)\n",
 			cur.EventsPerSec, base.EventsPerSec, cur.EventsPerSec/base.EventsPerSec)
-		fmt.Printf("kernel handoff events/sec:  %12.0f (baseline %12.0f, %.1fx)\n",
+		fmt.Fprintf(stdout, "kernel handoff events/sec:  %12.0f (baseline %12.0f, %.1fx)\n",
 			cur.HandoffEventsPerSec, base.HandoffEventsPerSec, cur.HandoffEventsPerSec/base.HandoffEventsPerSec)
-		fmt.Printf("resource grants/sec:        %12.0f (baseline %12.0f, %.1fx)\n",
+		fmt.Fprintf(stdout, "resource grants/sec:        %12.0f (baseline %12.0f, %.1fx)\n",
 			cur.ResourceGrantsPerSec, base.ResourceGrantsPerSec, cur.ResourceGrantsPerSec/base.ResourceGrantsPerSec)
-		fmt.Printf("queue put+get pairs/sec:    %12.0f (baseline %12.0f, %.1fx)\n",
+		fmt.Fprintf(stdout, "queue put+get pairs/sec:    %12.0f (baseline %12.0f, %.1fx)\n",
 			cur.QueueOpsPerSec, base.QueueOpsPerSec, cur.QueueOpsPerSec/base.QueueOpsPerSec)
-		fmt.Printf("wrote %s\n", *kout)
-		return
+		fmt.Fprintf(stdout, "wrote %s\n", *kout)
+		return 0
 	}
 
 	opts := bench.Options{Quick: !*full, Seed: *seed}
@@ -76,22 +94,52 @@ func main() {
 		for _, name := range strings.Split(*exp, ",") {
 			e, ok := bench.Find(strings.TrimSpace(name))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", name)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "unknown experiment %q (try -list)\n", name)
+				return 2
 			}
 			toRun = append(toRun, e)
 		}
 	}
 
 	start := time.Now()
+	if *self {
+		failed := 0
+		for _, r := range bench.SelfCheck(toRun, opts, *j) {
+			switch {
+			case r.Err != nil:
+				fmt.Fprintf(stderr, "selfcheck %s: %v\n", r.Name, r.Err)
+				failed++
+			case !r.OK():
+				fmt.Fprintf(stdout, "selfcheck %-10s DIVERGED: digest %016x over %d events vs %016x over %d events\n",
+					r.Name, uint64(r.Digest[0]), r.Events[0], uint64(r.Digest[1]), r.Events[1])
+				if r.Output[0] != r.Output[1] {
+					fmt.Fprintf(stdout, "selfcheck %-10s rendered outputs differ (%d vs %d bytes)\n",
+						r.Name, len(r.Output[0]), len(r.Output[1]))
+				}
+				failed++
+			default:
+				fmt.Fprintf(stdout, "selfcheck %-10s ok: digest %016x over %d events\n",
+					r.Name, uint64(r.Digest[0]), r.Events[0])
+			}
+		}
+		fmt.Fprintf(stderr, "selfchecked %d experiment(s) twice with -j %d in %s\n",
+			len(toRun), *j, time.Since(start).Round(time.Millisecond))
+		if failed > 0 {
+			fmt.Fprintf(stderr, "selfcheck: %d experiment(s) nondeterministic or failing\n", failed)
+			return 1
+		}
+		return 0
+	}
+
 	results, errs := bench.RunAll(toRun, opts, *j)
 	for i, e := range toRun {
 		if errs[i] != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, errs[i])
-			os.Exit(1)
+			fmt.Fprintf(stderr, "%s: %v\n", e.Name, errs[i])
+			return 1
 		}
-		results[i].Print(os.Stdout)
+		results[i].Print(stdout)
 	}
-	fmt.Fprintf(os.Stderr, "ran %d experiment(s) with -j %d in %s\n",
+	fmt.Fprintf(stderr, "ran %d experiment(s) with -j %d in %s\n",
 		len(toRun), *j, time.Since(start).Round(time.Millisecond))
+	return 0
 }

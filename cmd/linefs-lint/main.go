@@ -1,0 +1,130 @@
+// Command linefs-lint runs the repo's determinism lint suite (see
+// internal/lint and DESIGN.md, "The determinism contract") over the module.
+//
+// Usage:
+//
+//	linefs-lint              # lint every package in the module
+//	linefs-lint ./...        # same
+//	linefs-lint internal/fs internal/core
+//	linefs-lint -list        # list analyzers and exit
+//
+// Findings print as file:line: message (analyzer); the exit status is 1 if
+// anything was found. Suppress a finding with a justified directive:
+//
+//	//lint:allow <analyzer> <why this is safe>
+//
+// on the offending line or the line above. Directives with unknown analyzer
+// names or missing justifications are themselves findings.
+//
+// The suite is built on the standard library's go/types with the source
+// importer, so it runs with no module network and no compiled export data.
+// For the same reason there is no `go vet -vettool` integration yet: that
+// protocol lives in golang.org/x/tools/go/analysis/unitchecker, which this
+// build environment cannot fetch. `make lint` wires this driver into CI
+// instead; if x/tools lands in the module cache, main() shrinks to a
+// unitchecker.Main call over the same analyzers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"linefs/internal/lint"
+)
+
+// modulePath must match go.mod; the driver avoids parsing it to stay
+// dependency-free.
+const modulePath = "linefs"
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("  %-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	paths, err := targetPackages(root, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	loader := lint.NewLoader(root, modulePath)
+	findings := 0
+	failed := false
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linefs-lint: %v\n", err)
+			failed = true
+			continue
+		}
+		for _, d := range lint.RunAnalyzers(pkg, lint.All()) {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if failed || findings > 0 {
+		if findings > 0 {
+			fmt.Fprintf(os.Stderr, "linefs-lint: %d finding(s)\n", findings)
+		}
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("linefs-lint: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// targetPackages expands the command-line arguments into import paths.
+// No arguments (or "./...") means the whole module.
+func targetPackages(root string, args []string) ([]string, error) {
+	if len(args) == 0 {
+		return lint.ModulePackages(root, modulePath)
+	}
+	var out []string
+	for _, a := range args {
+		switch {
+		case a == "./..." || a == "...":
+			return lint.ModulePackages(root, modulePath)
+		case strings.HasPrefix(a, modulePath):
+			out = append(out, a)
+		default:
+			rel := strings.TrimPrefix(strings.TrimPrefix(a, "./"), "/")
+			rel = strings.TrimSuffix(rel, "/")
+			if rel == "." || rel == "" {
+				out = append(out, modulePath)
+			} else {
+				out = append(out, modulePath+"/"+rel)
+			}
+		}
+	}
+	return out, nil
+}

@@ -327,7 +327,11 @@ func (s *SharedFS) runRepl(p *sim.Proc) {
 			ms := s.mirror(req.Slot)
 			if req.From == ms.log.Head() {
 				ctx := s.cl.hostCtx(p, s.machine, "dfs")
-				_ = ms.log.AdvanceHead(ctx, req.From, int(req.To-req.From))
+				if err := ms.log.AdvanceHead(ctx, req.From, int(req.To-req.From)); err != nil {
+					// Unreachable: From == Head() was just checked, and the
+					// kernel is single-threaded between the check and here.
+					panic(fmt.Sprintf("assise: hyperloop advance: %v", err))
+				}
 				s.digestMirror(p, ms)
 			}
 			if msg.NeedsReply() {

@@ -169,7 +169,7 @@ func AblScaling(o Options) (*Result, error) {
 	run := func(budget int) (float64, int, error) {
 		cfg := lineFSConfig(o, 1)
 		cfg.Compress = true
-		env := sim.NewEnv(o.Seed)
+		env := o.newEnv()
 		cl, err := core.NewCluster(env, cfg)
 		if err != nil {
 			return 0, 0, err

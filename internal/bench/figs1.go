@@ -247,7 +247,7 @@ func Fig6(o Options) (*Result, error) {
 	}
 
 	runSolo := func() (time.Duration, error) {
-		env := sim.NewEnv(o.Seed)
+		env := o.newEnv()
 		cfg := lineFSConfig(o, 1)
 		cl, err := core.NewCluster(env, cfg)
 		if err != nil {
@@ -268,7 +268,7 @@ func Fig6(o Options) (*Result, error) {
 	}
 
 	runSystem := func(name string, mkWriters func(env *sim.Env) (func(p *sim.Proc, i int) writerClient, []*workload.Streamcluster)) (outcome, error) {
-		env := sim.NewEnv(o.Seed)
+		env := o.newEnv()
 		defer env.Shutdown()
 		writers, scs := mkWriters(env)
 		tput, err := measureWriters(env, 2, perProc, writers)
@@ -386,7 +386,7 @@ func Fig7(o Options) (*Result, error) {
 		Header: []string{"method", "streamcluster (s)", "LineFS MB/s"},
 	}
 	for _, mode := range modes {
-		env := sim.NewEnv(o.Seed)
+		env := o.newEnv()
 		cfg := lineFSConfig(o, 4)
 		_ = cfg
 		cfg.PubMode = mode

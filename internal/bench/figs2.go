@@ -212,7 +212,7 @@ func Fig9(o Options) (*Result, error) {
 		series   []float64
 	}
 	run := func(system string, zeroRatio float64, compress bool) (outcome, error) {
-		env := sim.NewEnv(o.Seed)
+		env := o.newEnv()
 		defer env.Shutdown()
 		var mk clientMaker
 		var netTotal func() int64

@@ -28,6 +28,9 @@ type Options struct {
 	// minutes; the paper-scale values are used otherwise.
 	Quick bool
 	Seed  int64
+	// Trace, when non-nil, enrolls every environment the experiment builds
+	// in the sim-sanitizer (see sanitize.go). Set by DigestOf/SelfCheck.
+	Trace *TraceCollector
 }
 
 // DefaultOptions runs quick-scale experiments.
@@ -174,7 +177,7 @@ func assiseConfig(o Options, clients int, mode assise.Mode) assise.Config {
 
 // newLineFS builds and starts a LineFS cluster with jitter-modeled hosts.
 func newLineFS(o Options, cfg core.Config) (*sim.Env, *core.Cluster, error) {
-	env := sim.NewEnv(o.Seed)
+	env := o.newEnv()
 	cl, err := core.NewCluster(env, cfg)
 	if err != nil {
 		return nil, nil, err
@@ -188,7 +191,7 @@ func newLineFS(o Options, cfg core.Config) (*sim.Env, *core.Cluster, error) {
 
 // newAssise builds and starts an Assise cluster with jitter-modeled hosts.
 func newAssise(o Options, cfg assise.Config) (*sim.Env, *assise.Cluster, error) {
-	env := sim.NewEnv(o.Seed)
+	env := o.newEnv()
 	cl, err := assise.NewCluster(env, cfg)
 	if err != nil {
 		return nil, nil, err

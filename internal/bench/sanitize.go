@@ -1,0 +1,140 @@
+// Runtime half of the determinism contract (DESIGN.md §8): experiments run
+// with the sim-sanitizer enabled fold every executed event of every
+// environment they build into one digest, and SelfCheck runs each experiment
+// twice and fails on divergence — the dynamic counterpart to the static
+// analyzers in internal/lint.
+
+package bench
+
+import (
+	"strings"
+	"sync"
+
+	"linefs/internal/sim"
+)
+
+// TraceCollector gathers the sim-sanitizer digests of every environment one
+// experiment run creates, in creation order. A collector belongs to exactly
+// one experiment run; the mutex only guards against experiments that build
+// environments from multiple host goroutines.
+type TraceCollector struct {
+	mu   sync.Mutex
+	envs []*sim.Env
+}
+
+// Attach enables tracing on env and enrolls it in the collector.
+func (tc *TraceCollector) Attach(env *sim.Env) {
+	env.EnableTrace()
+	tc.mu.Lock()
+	tc.envs = append(tc.envs, env)
+	tc.mu.Unlock()
+}
+
+// Digest folds every environment's digest and event count, in creation
+// order, into the experiment digest. Call it after the experiment returns;
+// per-environment digests survive Shutdown.
+func (tc *TraceCollector) Digest() sim.Digest {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	d := sim.DigestSeed
+	for _, env := range tc.envs {
+		d = d.Fold64(uint64(env.TraceDigest())).Fold64(env.TracedEvents())
+	}
+	return d
+}
+
+// Events returns the total number of events traced across environments.
+func (tc *TraceCollector) Events() uint64 {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	var n uint64
+	for _, env := range tc.envs {
+		n += env.TracedEvents()
+	}
+	return n
+}
+
+// newEnv builds the experiment's next simulation environment, enrolled in
+// the sim-sanitizer when this run is being digested. Experiments must create
+// environments through this helper (not sim.NewEnv directly) so DigestOf
+// sees every event the experiment executes.
+func (o Options) newEnv() *sim.Env {
+	env := sim.NewEnv(o.Seed)
+	if o.Trace != nil {
+		o.Trace.Attach(env)
+	}
+	return env
+}
+
+// DigestOf runs one experiment with the sim-sanitizer enabled and returns
+// the digest and count of every event its environments executed, plus the
+// experiment result.
+func DigestOf(e Experiment, opts Options) (sim.Digest, uint64, *Result, error) {
+	tc := &TraceCollector{}
+	opts.Trace = tc
+	res, err := e.Run(opts)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return tc.Digest(), tc.Events(), res, nil
+}
+
+// SelfCheckResult is one experiment's selfcheck outcome: the digests, event
+// counts, and rendered tables of two independent runs.
+type SelfCheckResult struct {
+	Name   string
+	Digest [2]sim.Digest
+	Events [2]uint64
+	Output [2]string
+	Err    error
+}
+
+// OK reports whether the two runs agreed on both the event digest and the
+// rendered output bytes.
+func (r *SelfCheckResult) OK() bool {
+	return r.Err == nil && r.Digest[0] == r.Digest[1] &&
+		r.Events[0] == r.Events[1] && r.Output[0] == r.Output[1]
+}
+
+// SelfCheck runs every experiment twice, j runs at a time (j <= 0 means one
+// per experiment pair), and reports the pairs of digests and rendered
+// outputs in input order. Both runs of an experiment use identical Options;
+// any disagreement means the simulation leaked host nondeterminism.
+func SelfCheck(exps []Experiment, opts Options, j int) []*SelfCheckResult {
+	out := make([]*SelfCheckResult, len(exps))
+	type unit struct{ exp, run int }
+	units := make([]unit, 0, 2*len(exps))
+	for i, e := range exps {
+		out[i] = &SelfCheckResult{Name: e.Name}
+		units = append(units, unit{i, 0}, unit{i, 1})
+	}
+	if j <= 0 {
+		j = len(exps)
+	}
+	sem := make(chan struct{}, j)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards Err across the two runs of one experiment
+	for _, u := range units {
+		wg.Add(1)
+		go func(u unit) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r := out[u.exp]
+			d, n, res, err := DigestOf(exps[u.exp], opts)
+			if err != nil {
+				mu.Lock()
+				if r.Err == nil {
+					r.Err = err
+				}
+				mu.Unlock()
+				return
+			}
+			var b strings.Builder
+			res.Print(&b)
+			r.Digest[u.run], r.Events[u.run], r.Output[u.run] = d, n, b.String()
+		}(u)
+	}
+	wg.Wait()
+	return out
+}

@@ -72,7 +72,7 @@ func Table1(o Options) (*Result, error) {
 			// --- Ceph ---
 			ccfg := cephsim.DefaultConfig()
 			ccfg.Spec.NetBW = net.bw
-			cenv := sim.NewEnv(o.Seed)
+			cenv := o.newEnv()
 			ccl := cephsim.NewCluster(cenv, ccfg)
 			ccl.Start()
 			cg := newGroup(cenv, procs)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"linefs/internal/compress"
@@ -299,9 +300,13 @@ func (ms *mirrorState) persistRaw(p *sim.Proc, at uint64, raw []byte) {
 		off += seg.Len
 	}
 	n.publishItems(p, items)
-	// Advance and persist the mirror header (small PCIe write).
+	// Advance and persist the mirror header (small PCIe write). A gap here
+	// means chunk arrival order diverged from log order — a chain-protocol
+	// bug that must not be papered over by silently skipping the advance.
 	ctx := n.cl.nicCtx(p, n.machine, "nicfs")
-	_ = ms.log.AdvanceHead(ctx, at, len(raw))
+	if err := ms.log.AdvanceHead(ctx, at, len(raw)); err != nil {
+		panic(fmt.Sprintf("core: mirror advance: %v", err))
+	}
 }
 
 // publishLocal applies a replicated chunk to this replica's public area

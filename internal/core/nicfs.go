@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"linefs/internal/fs"
@@ -143,10 +144,22 @@ func (n *NICFS) PeerDown(p *sim.Proc, name string) {
 	// Leases arbitrated by this node for clients of the failed node expire.
 	n.leases.ExpireHolder(name)
 	// Chunks waiting on the dead replica's acks complete against the
-	// reconfigured chain.
-	for _, cs := range n.clients {
-		cs.resweepAcks(p)
+	// reconfigured chain. Slots are visited in order: resweeps emit
+	// completion events, so the sweep sequence must be deterministic.
+	for _, slot := range n.clientSlots() {
+		n.clients[slot].resweepAcks(p)
 	}
+}
+
+// clientSlots returns the attached client slots in increasing order, for
+// deterministic iteration over the clients map.
+func (n *NICFS) clientSlots() []int {
+	slots := make([]int, 0, len(n.clients))
+	for slot := range n.clients {
+		slots = append(slots, slot)
+	}
+	sort.Ints(slots)
+	return slots
 }
 
 // PeerUp implements cluster.Member.
@@ -329,10 +342,11 @@ func (n *NICFS) handleLeaseAcquire(p *sim.Proc, msg *rdma.Msg) {
 	msg.Respond(p, &leaseResp{OK: ok, Conflicts: conflicts}, 16)
 }
 
-// sendRevoke notifies a LibFS holder to drop its cached lease.
+// sendRevoke notifies a LibFS holder to drop its cached lease. Slot order
+// keeps the holder lookup deterministic even if ids were ever duplicated.
 func (n *NICFS) sendRevoke(p *sim.Proc, holder string, ino fs.Ino) {
-	for _, cs := range n.clients {
-		if cs.id == holder {
+	for _, slot := range n.clientSlots() {
+		if cs := n.clients[slot]; cs.id == holder {
 			cs.notifyClient(p, "revoke", &revokeMsg{Ino: ino}, 16)
 			return
 		}

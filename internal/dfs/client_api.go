@@ -2,6 +2,7 @@ package dfs
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"linefs/internal/fs"
@@ -502,10 +503,19 @@ func (l *Client) ReadDir(p *sim.Proc, pth string) ([]fs.DirEnt, error) {
 		out = append(out, e)
 		seen[e.Name] = true
 	}
+	// Unpublished creations merge in sorted name order so the readdir
+	// result is deterministic (the published prefix is already sorted by
+	// the volume's DirList).
+	added := make([]string, 0, len(deltas))
 	for name, d := range deltas {
 		if d.del || seen[name] {
 			continue
 		}
+		added = append(added, name)
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		d := deltas[name]
 		out = append(out, fs.DirEnt{Ino: d.ino, Type: d.typ, Name: name})
 	}
 	return out, nil

@@ -3,6 +3,7 @@ package fs
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 )
@@ -146,9 +147,16 @@ func (v *Vol) DirList(c *Ctx, dir Ino) ([]DirEnt, error) {
 	}
 	dc := v.loadDir(c, &din)
 	c.Compute(dirScanOp * time.Duration(1+len(dc.ents)/dirPerBlk))
-	out := make([]DirEnt, 0, len(dc.ents))
-	for _, dl := range dc.ents {
-		out = append(out, dl.ent)
+	// Emit in sorted name order: the listing feeds readdir results and
+	// recovery walks, so it must not leak map iteration order.
+	names := make([]string, 0, len(dc.ents))
+	for name := range dc.ents {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]DirEnt, 0, len(names))
+	for _, name := range names {
+		out = append(out, dc.ents[name].ent)
 	}
 	return out, nil
 }

@@ -6,6 +6,7 @@
 package lease
 
 import (
+	"sort"
 	"time"
 
 	"linefs/internal/fs"
@@ -92,11 +93,14 @@ func (t *Table) Acquire(ino fs.Ino, holder string, mode Mode) (ok bool, conflict
 		if s.writer != "" && s.writer != holder {
 			return false, []string{s.writer}
 		}
+		// Sorted so the conflict list (which drives revocation messages,
+		// i.e. simulated events) is independent of map iteration order.
 		for r := range s.readers {
 			if r != holder {
 				conflicts = append(conflicts, r)
 			}
 		}
+		sort.Strings(conflicts)
 		if len(conflicts) > 0 {
 			return false, conflicts
 		}
@@ -159,10 +163,25 @@ func (t *Table) Release(ino fs.Ino, holder string) {
 // revocation after notifying the holder).
 func (t *Table) Revoke(ino fs.Ino, holder string) { t.Release(ino, holder) }
 
+// sortedInos returns the table's inodes in increasing order, so bulk
+// operations journal and export in a deterministic sequence.
+func (t *Table) sortedInos() []fs.Ino {
+	inos := make([]fs.Ino, 0, len(t.leases))
+	for ino := range t.leases {
+		inos = append(inos, ino)
+	}
+	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+	return inos
+}
+
 // ExpireHolder drops every lease held by holder (client or node failure).
+// Inodes are visited in sorted order: each release may journal a record,
+// and the journal feeds persistence and replication — simulated events
+// whose order must not depend on map iteration.
 func (t *Table) ExpireHolder(holder string) int {
 	n := 0
-	for ino, s := range t.leases {
+	for _, ino := range t.sortedInos() {
+		s := t.leases[ino]
 		if s.writer == holder {
 			s.writer = ""
 			n++
@@ -178,19 +197,27 @@ func (t *Table) ExpireHolder(holder string) int {
 	return n
 }
 
-// Snapshot exports all live grants (for lease-state replication).
+// Snapshot exports all live grants (for lease-state replication) in
+// deterministic order: by inode, writer first, then readers sorted by
+// holder.
 func (t *Table) Snapshot() []Record {
 	var out []Record
-	for ino, s := range t.leases {
+	for _, ino := range t.sortedInos() {
+		s := t.leases[ino]
 		t.gc(s)
 		if s.writer != "" {
 			out = append(out, Record{Ino: ino, Holder: s.writer, Mode: Write, Expiry: s.writerExp})
 		}
-		for r, exp := range s.readers {
+		readers := make([]string, 0, len(s.readers))
+		for r := range s.readers {
 			if r == s.writer {
 				continue
 			}
-			out = append(out, Record{Ino: ino, Holder: r, Mode: Read, Expiry: exp})
+			readers = append(readers, r)
+		}
+		sort.Strings(readers)
+		for _, r := range readers {
+			out = append(out, Record{Ino: ino, Holder: r, Mode: Read, Expiry: s.readers[r]})
 		}
 	}
 	return out

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// wantRe matches the quoted expectations in a want comment: double-quoted
+// or backquoted regexp strings, analysistest style.
+var wantRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// expectation is one // want entry: a regexp the diagnostic message must
+// match, anchored to a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// RunTest is the analysistest harness: it loads pkgPath from the GOPATH-style
+// tree at testdataDir/src, runs the analyzers, and checks every finding
+// against the `// want "regexp"` comments in the package sources. Each want
+// comment must be matched by exactly one diagnostic on its line, and every
+// diagnostic must match a want comment.
+func RunTest(t *testing.T, testdataDir, pkgPath string, analyzers ...*Analyzer) {
+	t.Helper()
+	loader := NewLoader(testdataDir+"/src/linefs", "linefs")
+	pkg, err := loader.Load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgPath, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		wants = append(wants, collectWants(t, pkg, f)...)
+	}
+
+	diags := RunAnalyzers(pkg, analyzers)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants parses the // want comments of one file.
+func collectWants(t *testing.T, pkg *Package, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			idx := indexWant(text)
+			if idx < 0 {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			for _, q := range wantRe.FindAllString(text[idx:], -1) {
+				s, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+				}
+				re, err := regexp.Compile(s)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, s, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out
+}
+
+// indexWant finds the start of a want clause in a comment, or -1.
+func indexWant(text string) int {
+	re := regexp.MustCompile(`//\s*want\s`)
+	loc := re.FindStringIndex(text)
+	if loc == nil {
+		return -1
+	}
+	return loc[1]
+}

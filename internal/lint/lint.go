@@ -1,0 +1,205 @@
+// Package lint is the repo's determinism lint suite: a small static-analysis
+// framework plus four analyzers that encode the simulation invariants the
+// reproduction depends on (see DESIGN.md, "The determinism contract").
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis —
+// Analyzer, Pass, Diagnostic — but is built on the standard library only
+// (go/parser + go/types with the source importer), because this build
+// environment has no module network access. If x/tools ever lands in the
+// module cache, the analyzers port mechanically: each Run consumes the same
+// (Fset, Files, Pkg, TypesInfo) tuple a x/tools Pass carries, and the
+// go vet -vettool integration becomes a thin unitchecker main.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns every analyzer in the suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{NoDeterm, MapOrder, ProcCtx, WireCheck}
+}
+
+// Pass is the per-(analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags  []Diagnostic
+	allows map[int][]allowDirective // file-line -> directives (per file base offset)
+	allow  map[*token.File]map[int][]allowDirective
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos unless suppressed by a //lint:allow
+// directive on the same line or the line immediately above.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allowed(pos) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowDirective is a parsed //lint:allow comment.
+type allowDirective struct {
+	analyzer      string
+	justification string
+}
+
+// buildAllows indexes //lint:allow comments by file and line. A directive
+// must name the analyzer and carry a non-empty justification:
+//
+//	//lint:allow nodeterm wall-clock feeds the progress bar only
+//
+// It suppresses findings of that analyzer on its own line and the next line
+// (so it can sit above the offending statement).
+func (p *Pass) buildAllows() {
+	p.allow = make(map[*token.File]map[int][]allowDirective)
+	for _, f := range p.Files {
+		tf := p.Fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		byLine := make(map[int][]allowDirective)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:allow") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:allow"))
+				name, justification, _ := strings.Cut(rest, " ")
+				d := allowDirective{analyzer: name, justification: trimTrailingComment(justification)}
+				line := p.Fset.Position(c.Pos()).Line
+				byLine[line] = append(byLine[line], d)
+			}
+		}
+		p.allow[tf] = byLine
+	}
+}
+
+// trimTrailingComment drops a nested trailing comment (as in testdata's
+// `//lint:allow x // want ...`) and surrounding space from a justification.
+func trimTrailingComment(s string) string {
+	if i := strings.Index(s, "//"); i >= 0 {
+		s = s[:i]
+	}
+	return strings.TrimSpace(s)
+}
+
+// allowed reports whether a finding at pos is suppressed.
+func (p *Pass) allowed(pos token.Pos) bool {
+	tf := p.Fset.File(pos)
+	byLine, ok := p.allow[tf]
+	if !ok {
+		return false
+	}
+	line := p.Fset.Position(pos).Line
+	for _, d := range append(byLine[line], byLine[line-1]...) {
+		if d.analyzer == p.Analyzer.Name && d.justification != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// BadAllows returns diagnostics for malformed //lint:allow directives in the
+// package: unknown analyzer names and missing justifications. Directives are
+// load-bearing documentation; a typo'd one silently suppresses nothing (or
+// the wrong thing), so the driver reports them.
+func BadAllows(fset *token.FileSet, files []*ast.File) []Diagnostic {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "lint:allow") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:allow"))
+				name, justification, _ := strings.Cut(rest, " ")
+				justification = trimTrailingComment(justification)
+				switch {
+				case !known[name]:
+					out = append(out, Diagnostic{
+						Pos:      fset.Position(c.Pos()),
+						Analyzer: "allow",
+						Message:  fmt.Sprintf("lint:allow names unknown analyzer %q", name),
+					})
+				case justification == "":
+					out = append(out, Diagnostic{
+						Pos:      fset.Position(c.Pos()),
+						Analyzer: "allow",
+						Message:  fmt.Sprintf("lint:allow %s needs a justification", name),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers executes every analyzer over a loaded package and returns the
+// findings sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+		}
+		pass.buildAllows()
+		a.Run(pass)
+		out = append(out, pass.diags...)
+	}
+	out = append(out, BadAllows(pkg.Fset, pkg.Files)...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}

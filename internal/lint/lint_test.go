@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// testdataDir locates this package's testdata tree.
+func testdataDir(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate test source")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata")
+}
+
+func TestNoDeterm(t *testing.T) {
+	t.Parallel()
+	RunTest(t, testdataDir(t), "linefs/internal/nodetermtest", NoDeterm)
+}
+
+func TestMapOrder(t *testing.T) {
+	t.Parallel()
+	RunTest(t, testdataDir(t), "linefs/internal/mapordertest", MapOrder)
+}
+
+func TestProcCtx(t *testing.T) {
+	t.Parallel()
+	RunTest(t, testdataDir(t), "linefs/internal/procctxtest", ProcCtx)
+}
+
+func TestWireCheck(t *testing.T) {
+	t.Parallel()
+	RunTest(t, testdataDir(t), "linefs/internal/wirechecktest", WireCheck)
+}
+
+// TestNoDetermOutsideDomain verifies that wall-clock use outside the
+// simulation domain (the bench allowlist) is not flagged.
+func TestNoDetermOutsideDomain(t *testing.T) {
+	t.Parallel()
+	RunTest(t, testdataDir(t), "linefs/internal/bench", NoDeterm)
+}
+
+// TestBadAllows verifies that malformed //lint:allow directives are
+// themselves findings.
+func TestBadAllows(t *testing.T) {
+	t.Parallel()
+	RunTest(t, testdataDir(t), "linefs/internal/badallowtest")
+}

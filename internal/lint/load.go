@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is a parsed and type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages. Import paths under Prefix resolve
+// to directories under Root (module layout); everything else goes to the
+// standard library via the source importer, so loading works with no
+// compiled export data and no network.
+type Loader struct {
+	Root   string // filesystem root the module lives in
+	Prefix string // module path, e.g. "linefs"
+
+	fset *token.FileSet
+	std  types.ImporterFrom
+	pkgs map[string]*loadResult
+}
+
+type loadResult struct {
+	pkg *Package
+	err error
+	// loading marks an in-progress load for import-cycle detection.
+	loading bool
+}
+
+// NewLoader creates a loader for the module rooted at root with the given
+// module path.
+func NewLoader(root, prefix string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:   root,
+		Prefix: prefix,
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:   make(map[string]*loadResult),
+	}
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// dirFor maps an intra-module import path to its directory.
+func (l *Loader) dirFor(path string) (string, bool) {
+	if path == l.Prefix {
+		return l.Root, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.Prefix+"/"); ok {
+		return filepath.Join(l.Root, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// Load parses and type-checks the package at the given import path
+// (memoized).
+func (l *Loader) Load(path string) (*Package, error) {
+	if r, ok := l.pkgs[path]; ok {
+		if r.loading {
+			return nil, fmt.Errorf("lint: import cycle through %q", path)
+		}
+		return r.pkg, r.err
+	}
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("lint: %q is not under module %q", path, l.Prefix)
+	}
+	r := &loadResult{loading: true}
+	l.pkgs[path] = r
+	r.pkg, r.err = l.loadDir(path, dir)
+	r.loading = false
+	return r.pkg, r.err
+}
+
+// loadDir does the actual parse + type-check of one directory.
+func (l *Loader) loadDir(path, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") ||
+			strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-local packages load
+// through the loader; everything else falls through to the stdlib source
+// importer.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if _, ok := l.dirFor(path); ok {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}
+
+// ModulePackages walks the module root and returns the import paths of every
+// package directory containing Go files, skipping testdata, hidden
+// directories, and vendored trees.
+func ModulePackages(root, prefix string) ([]string, error) {
+	var out []string
+	err := filepath.Walk(root, func(p string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if fi.IsDir() {
+			base := filepath.Base(p)
+			if p != root && (strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_") ||
+				base == "testdata" || base == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(p, ".go") || strings.HasSuffix(p, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(p)
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return err
+		}
+		path := prefix
+		if rel != "." {
+			path = prefix + "/" + filepath.ToSlash(rel)
+		}
+		if len(out) == 0 || out[len(out)-1] != path {
+			out = append(out, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	// Walk order already de-duplicated consecutive files; a final pass
+	// guards against any remaining repeats.
+	uniq := out[:0]
+	for _, p := range out {
+		if len(uniq) == 0 || uniq[len(uniq)-1] != p {
+			uniq = append(uniq, p)
+		}
+	}
+	return uniq, nil
+}

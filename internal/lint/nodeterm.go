@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// NoDeterm flags ambient nondeterminism inside the simulation domain:
+// global math/rand top-level functions (process-wide state seeded from
+// entropy) and wall-clock calls (time.Now and friends). Simulation code must
+// draw randomness from Env.Rand() or an explicitly seeded rand.New, and must
+// measure time on the virtual clock (Proc.Now / Env.Now). Wall-clock use is
+// legal only in the allowlisted harness packages (internal/bench, cmd/,
+// examples/), which time real host execution.
+var NoDeterm = &Analyzer{
+	Name: "nodeterm",
+	Doc:  "forbid global math/rand and wall-clock time in simulation packages",
+	Run:  runNoDeterm,
+}
+
+// randAllowed are the math/rand package-level functions that construct
+// explicitly seeded sources — the sanctioned escape hatch.
+var randAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// timeBanned are the time package functions that read or wait on the host
+// clock. Pure constructors and parsers (ParseDuration, Date, Unix) are fine.
+var timeBanned = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runNoDeterm(pass *Pass) {
+	if !simDomain(pass.Pkg.Path()) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || funcSignature(fn).Recv() != nil {
+				return true
+			}
+			switch funcPkgPath(fn) {
+			case "math/rand", "math/rand/v2":
+				if !randAllowed[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"global rand.%s uses ambient process-wide randomness; draw from Env.Rand() or an explicitly seeded rand.New", fn.Name())
+				}
+			case "time":
+				if timeBanned[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"time.%s reads the host clock inside the simulation domain; use the virtual clock (Proc.Now/Env.Now, Proc.Sleep)", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,9 @@
+// Package badallowtest seeds malformed //lint:allow directives.
+package badallowtest
+
+func f() int {
+	//lint:allow nosuchanalyzer because reasons // want `lint:allow names unknown analyzer "nosuchanalyzer"`
+	x := 1
+	//lint:allow nodeterm // want `lint:allow nodeterm needs a justification`
+	return x
+}

@@ -1,0 +1,11 @@
+// Package bench is allowlisted: the harness times real host execution, so
+// wall-clock calls here are legal and nodeterm must stay quiet.
+package bench
+
+import "time"
+
+func measure(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

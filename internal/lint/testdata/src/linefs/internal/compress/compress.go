@@ -1,0 +1,9 @@
+// Package compress is a stub of the replication compressor for wirecheck
+// tests.
+package compress
+
+// Compress compresses src.
+func Compress(src []byte) []byte { return nil }
+
+// Decompress expands src.
+func Decompress(src []byte) ([]byte, error) { return nil, nil }

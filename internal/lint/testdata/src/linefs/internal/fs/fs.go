@@ -1,0 +1,42 @@
+// Package fs is a stub of the wire-format surface for wirecheck tests: same
+// package-path suffix and function names as the real internal/fs.
+package fs
+
+// Ctx is the stub access context.
+type Ctx struct{}
+
+// Entry is the stub log entry.
+type Entry struct{}
+
+// Encode serializes the entry.
+func (e *Entry) Encode() []byte { return nil }
+
+// LogArea is the stub log ring.
+type LogArea struct{}
+
+// Append appends an entry.
+func (l *LogArea) Append(c *Ctx, e *Entry) (uint64, error) { return 0, nil }
+
+// MirrorRaw appends raw replicated bytes.
+func (l *LogArea) MirrorRaw(c *Ctx, at uint64, data []byte) error { return nil }
+
+// AdvanceHead covers externally-placed bytes.
+func (l *LogArea) AdvanceHead(c *Ctx, at uint64, n int) error { return nil }
+
+// DecodeRange parses entries in a range.
+func (l *LogArea) DecodeRange(c *Ctx, from, to uint64) ([]*Entry, error) { return nil, nil }
+
+// Tail returns the oldest offset.
+func (l *LogArea) Tail() uint64 { return 0 }
+
+// Head returns the next append offset.
+func (l *LogArea) Head() uint64 { return 0 }
+
+// DecodeEntry parses one entry.
+func DecodeEntry(buf []byte) (*Entry, int, error) { return nil, 0, nil }
+
+// DecodeAll parses concatenated entries.
+func DecodeAll(raw []byte) ([]*Entry, error) { return nil, nil }
+
+// OpenLogArea mounts an existing ring.
+func OpenLogArea(ctx *Ctx, base, size int64) (*LogArea, error) { return nil, nil }

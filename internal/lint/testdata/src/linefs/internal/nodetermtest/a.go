@@ -1,0 +1,35 @@
+// Package nodetermtest seeds nodeterm violations: it sits under
+// linefs/internal/ and is therefore inside the simulation domain.
+package nodetermtest
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	_ = rand.Intn(10)       // want `global rand\.Intn uses ambient process-wide randomness`
+	_ = rand.Float64()      // want `global rand\.Float64`
+	_ = rand.Int63()        // want `global rand\.Int63`
+	rand.Shuffle(3, func(i, j int) {}) // want `global rand\.Shuffle`
+	rand.Seed(1)            // want `global rand\.Seed`
+	t := time.Now()         // want `time\.Now reads the host clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the host clock`
+	_ = time.Since(t)       // want `time\.Since reads the host clock`
+	_ = time.After(time.Second) // want `time\.After reads the host clock`
+}
+
+func good(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	_ = rng.Intn(10)
+	_ = rng.Float64()
+	d, _ := time.ParseDuration("1s")
+	_ = d
+	_ = time.Duration(42)
+}
+
+func allowed() {
+	//lint:allow nodeterm measuring host wall-clock for a diagnostic only
+	_ = time.Now()
+	_ = time.Now() //lint:allow nodeterm same-line suppression with reason
+}

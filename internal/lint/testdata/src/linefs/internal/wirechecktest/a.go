@@ -1,0 +1,50 @@
+// Package wirechecktest seeds wirecheck violations.
+package wirechecktest
+
+import (
+	"linefs/internal/compress"
+	"linefs/internal/fs"
+)
+
+func bad(la *fs.LogArea, ctx *fs.Ctx, e *fs.Entry, raw []byte) {
+	la.Append(ctx, e)             // want `result of LogArea\.Append dropped`
+	fs.DecodeEntry(raw)           // want `result of fs\.DecodeEntry dropped`
+	compress.Decompress(raw)      // want `result of compress\.Decompress dropped`
+	_, _ = fs.DecodeAll(raw)      // want `error from fs\.DecodeAll assigned to _`
+	_ = la.AdvanceHead(ctx, 0, 0) // want `error from LogArea\.AdvanceHead assigned to _`
+	_ = la.MirrorRaw(ctx, 0, raw) // want `error from LogArea\.MirrorRaw assigned to _`
+	_, _ = fs.OpenLogArea(ctx, 0, 0) // want `error from fs\.OpenLogArea assigned to _`
+}
+
+func good(la *fs.LogArea, ctx *fs.Ctx, e *fs.Entry, raw []byte) error {
+	if _, err := la.Append(ctx, e); err != nil {
+		return err
+	}
+	entries, err := fs.DecodeAll(raw)
+	if err != nil {
+		return err
+	}
+	_ = entries
+	if err := la.AdvanceHead(ctx, 0, 0); err != nil {
+		return err
+	}
+	out, err := compress.Decompress(raw)
+	_ = out
+	return err
+}
+
+func allowed(la *fs.LogArea, ctx *fs.Ctx) {
+	//lint:allow wirecheck head equality is pre-checked two lines up
+	_ = la.AdvanceHead(ctx, 0, 0)
+}
+
+// unrelated calls with the same names on other types are not flagged.
+type other struct{}
+
+func (other) Append(a, b int)      {}
+func (other) AdvanceHead() error   { return nil }
+
+func notWire(o other) {
+	o.Append(1, 2)
+	_ = o.AdvanceHead()
+}

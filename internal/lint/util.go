@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// simPkgPath is the import path of the simulation kernel. Analyzers match
+// kernel types by (package path, type name) rather than object identity so
+// the analysistest suites can use small stub packages with the same path.
+const simPkgPath = "linefs/internal/sim"
+
+// simDomain reports whether a package is part of the deterministic
+// simulation domain, where wall-clock time and ambient randomness are
+// forbidden. The allowlist is the wall-clock boundary: the bench harness
+// measures host elapsed time, and lint is tooling. cmd/, examples/, and the
+// module root sit outside internal/ and are exempt by construction.
+func simDomain(path string) bool {
+	if !strings.HasPrefix(path, "linefs/internal/") {
+		return false
+	}
+	switch path {
+	case "linefs/internal/bench", "linefs/internal/lint":
+		return false
+	}
+	return true
+}
+
+// calleeFunc resolves the *types.Func a call expression invokes, or nil for
+// calls through function values, builtins, and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+// funcSignature returns a function's signature. (The go.mod language level
+// predates types.Func.Signature, hence the assertion.)
+func funcSignature(f *types.Func) *types.Signature {
+	sig, _ := f.Type().(*types.Signature)
+	return sig
+}
+
+// funcPkgPath returns the import path of the package a function belongs to
+// ("" for builtins).
+func funcPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// namedFrom unwraps pointers and reports the (package path, name) of a named
+// type, or ("", "") otherwise.
+func namedFrom(t types.Type) (string, string) {
+	if t == nil {
+		return "", ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return "", ""
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// isSimType reports whether t names a simulation-kernel type.
+func isSimType(t types.Type) bool {
+	path, _ := namedFrom(t)
+	return path == simPkgPath
+}
+
+// isProcType reports whether t is *sim.Proc (or sim.Proc).
+func isProcType(t types.Type) bool {
+	path, name := namedFrom(t)
+	return path == simPkgPath && name == "Proc"
+}
+
+// hasProcParam reports whether a function signature takes a *sim.Proc.
+func hasProcParam(sig *types.Signature) bool {
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isProcType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingFuncs pairs every function body in a file with its AST node, in
+// source order: declarations and literals both.
+type funcBody struct {
+	node ast.Node
+	body *ast.BlockStmt
+}
+
+// funcBodies returns every function body in the file.
+func funcBodies(f *ast.File) []funcBody {
+	var out []funcBody
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, funcBody{fn, fn.Body})
+			}
+		case *ast.FuncLit:
+			out = append(out, funcBody{fn, fn.Body})
+		}
+		return true
+	})
+	return out
+}

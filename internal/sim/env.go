@@ -141,6 +141,12 @@ type Env struct {
 
 	// stopped aborts Run at the next event boundary.
 	stopped bool
+
+	// Sim-sanitizer state (see trace.go): when tracing, every popped event
+	// folds into digest.
+	tracing bool
+	digest  Digest
+	traced  uint64
 }
 
 // NewEnv creates a simulation environment seeded deterministically.
@@ -227,6 +233,9 @@ func (e *Env) loop(self *Proc) *Proc {
 			panic("sim: event queue time went backwards")
 		}
 		e.now = it.t
+		if e.tracing {
+			e.traceEvent(&it)
+		}
 		switch it.kind {
 		case evClosure:
 			it.fn()

@@ -15,6 +15,7 @@ type Proc struct {
 	env  *Env
 	name string
 	fn   func(*Proc)
+	id   uint64 // per-Env spawn ordinal, folded into the trace digest
 
 	resume chan struct{}
 
@@ -49,6 +50,10 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 	}
 	e.live++
 	e.procSeq++
+	p.id = uint64(e.procSeq)
+	if e.tracing {
+		e.traceSpawn(p)
+	}
 	e.procs = append(e.procs, p)
 	e.seq++
 	e.eq.push(item{t: e.now, seq: e.seq, kind: evStart, p: p})

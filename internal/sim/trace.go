@@ -1,0 +1,81 @@
+// The sim-sanitizer: an opt-in trace mode that folds every event the kernel
+// executes into a running digest. Two runs of the same simulation must
+// produce the same digest; a divergence means host nondeterminism (map
+// iteration order, ambient randomness, wall-clock reads, foreign goroutines)
+// leaked into the event stream. The static side of the same contract lives
+// in internal/lint; see DESIGN.md, "The determinism contract".
+
+package sim
+
+// Digest is a running FNV-1a-64 fold of an executed event sequence. The
+// zero value means "no tracing"; live digests start from DigestSeed.
+type Digest uint64
+
+// DigestSeed is the FNV-1a 64-bit offset basis, the starting value for a
+// fresh digest.
+const DigestSeed Digest = 14695981039346656037
+
+const digestPrime = 1099511628211
+
+// Fold64 folds one 64-bit word into the digest, least-significant byte
+// first.
+func (d Digest) Fold64(v uint64) Digest {
+	h := uint64(d)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= digestPrime
+		v >>= 8
+	}
+	return Digest(h)
+}
+
+// FoldString folds a string into the digest, length first so that
+// concatenation ambiguities ("ab"+"c" vs "a"+"bc") cannot collide.
+func (d Digest) FoldString(s string) Digest {
+	h := uint64(d.Fold64(uint64(len(s))))
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= digestPrime
+	}
+	return Digest(h)
+}
+
+// EnableTrace turns on the sim-sanitizer for this environment: every event
+// the loop pops — including process spawns and stale wake-ups — is folded
+// into a running digest. Call it before the first Run; tracing costs one
+// branch per event when off and a short hash fold when on, and never
+// allocates.
+func (e *Env) EnableTrace() {
+	e.tracing = true
+	if e.digest == 0 {
+		e.digest = DigestSeed
+	}
+}
+
+// TraceDigest returns the sanitizer digest folded so far (0 when tracing
+// was never enabled). The digest survives Shutdown, so a harness can tear
+// the simulation down and still read it.
+func (e *Env) TraceDigest() Digest { return e.digest }
+
+// TracedEvents returns the number of events folded into the digest.
+func (e *Env) TracedEvents() uint64 { return e.traced }
+
+// traceEvent folds one popped event record into the digest: virtual time,
+// global sequence number, and the target process identity tagged with the
+// event kind. Process identities are small per-Env ordinals (see Env.Go),
+// themselves covered by the spawn-time name fold.
+func (e *Env) traceEvent(it *item) {
+	d := e.digest.Fold64(uint64(it.t)).Fold64(it.seq)
+	var id uint64
+	if it.p != nil {
+		id = it.p.id
+	}
+	e.digest = d.Fold64(id<<8 | uint64(it.kind))
+	e.traced++
+}
+
+// traceSpawn folds a process creation (ordinal and name) into the digest,
+// so renamed or reordered spawns diverge even before their events run.
+func (e *Env) traceSpawn(p *Proc) {
+	e.digest = e.digest.Fold64(p.id).FoldString(p.name)
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// traceWorkload drives a small but representative simulation — processes,
+// sleeps, a contended resource, a bounded queue, an event trigger — and
+// returns the environment's sanitizer digest and event count.
+func traceWorkload(t *testing.T, seed int64, workers int) (Digest, uint64) {
+	t.Helper()
+	env := NewEnv(seed)
+	env.EnableTrace()
+	cpu := NewResource(env, 2)
+	q := NewQueue[int](env, 4)
+	done := NewEvent(env)
+	finished := 0
+	for i := 0; i < workers; i++ {
+		env.Go("producer", func(p *Proc) {
+			for n := 0; n < 8; n++ {
+				cpu.Acquire(p, 0)
+				p.Sleep(time.Duration(env.Rand().Intn(50)+1) * time.Microsecond)
+				cpu.Release()
+				q.Put(p, n)
+			}
+		})
+	}
+	env.Go("consumer", func(p *Proc) {
+		for n := 0; n < 8*workers; n++ {
+			q.Get(p)
+		}
+		done.Trigger(nil)
+	})
+	env.Go("waiter", func(p *Proc) {
+		p.Wait(done)
+		finished++
+	})
+	env.Run()
+	if finished != 1 {
+		t.Fatalf("workload did not complete: finished=%d", finished)
+	}
+	d, n := env.TraceDigest(), env.TracedEvents()
+	env.Shutdown()
+	if got := env.TraceDigest(); got != d {
+		t.Fatalf("digest changed across Shutdown: %016x -> %016x", uint64(d), uint64(got))
+	}
+	return d, n
+}
+
+func TestTraceDigestDeterministic(t *testing.T) {
+	t.Parallel()
+	d1, n1 := traceWorkload(t, 7, 3)
+	d2, n2 := traceWorkload(t, 7, 3)
+	if d1 != d2 || n1 != n2 {
+		t.Fatalf("identical runs diverged: %016x/%d vs %016x/%d", uint64(d1), n1, uint64(d2), n2)
+	}
+	if d1 == 0 || d1 == DigestSeed || n1 == 0 {
+		t.Fatalf("degenerate digest %016x over %d events", uint64(d1), n1)
+	}
+}
+
+func TestTraceDigestSensitivity(t *testing.T) {
+	t.Parallel()
+	base, _ := traceWorkload(t, 7, 3)
+	if d, _ := traceWorkload(t, 8, 3); d == base {
+		t.Fatalf("different seeds produced the same digest %016x", uint64(d))
+	}
+	if d, _ := traceWorkload(t, 7, 4); d == base {
+		t.Fatalf("different topologies produced the same digest %016x", uint64(d))
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	t.Parallel()
+	env := NewEnv(1)
+	env.Go("p", func(p *Proc) { p.Sleep(time.Microsecond) })
+	env.Run()
+	if d, n := env.TraceDigest(), env.TracedEvents(); d != 0 || n != 0 {
+		t.Fatalf("untraced env accumulated digest %016x over %d events", uint64(d), n)
+	}
+}
+
+func TestTraceSpawnNameSensitivity(t *testing.T) {
+	t.Parallel()
+	run := func(name string) Digest {
+		env := NewEnv(1)
+		env.EnableTrace()
+		env.Go(name, func(p *Proc) { p.Sleep(time.Microsecond) })
+		env.Run()
+		return env.TraceDigest()
+	}
+	if run("a") == run("b") {
+		t.Fatal("process name not covered by the trace digest")
+	}
+}

@@ -159,7 +159,14 @@ func TencentSort(p *sim.Proc, env *sim.Env, clients []*dfs.Client, cpu *hw.CPU, 
 	// (publication runs in the background and completes within
 	// milliseconds of the fsyncs above).
 	probe := clients[cfg.Partitioners]
+	// Probe in sorted order: each Stat is simulated work, so the probe
+	// sequence must not follow map iteration order.
+	names := make([]string, 0, len(written))
 	for name := range written {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		for try := 0; ; try++ {
 			if _, _, err := probe.Stat(p, name); err == nil {
 				break
