@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build lint test-short test race selfcheck test-full bench kernelbench clean
+.PHONY: ci vet build lint test-short test race selfcheck test-full bench kernelbench databench databench-smoke clean
 
-ci: vet build lint test-short race selfcheck
+ci: vet build lint test-short race selfcheck databench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -47,6 +47,18 @@ kernelbench:
 bench:
 	$(GO) build -o linefs-bench ./cmd/linefs-bench
 	./linefs-bench -kernelbench
+
+# Regenerate BENCH_dataplane.json (seed vs current LZW / log codec / PM
+# throughput, measured back-to-back per metric).
+databench:
+	$(GO) build -o linefs-bench ./cmd/linefs-bench
+	./linefs-bench -databench -databench-time 2s
+
+# CI smoke: tiny measurement windows, but the same harness — it still
+# asserts the steady-state compress/decompress/encode/decode/PM-write
+# paths run at 0 allocs/op. The report itself goes to a scratch file.
+databench-smoke:
+	$(GO) run ./cmd/linefs-bench -databench -databench-time 25ms -databench-out /tmp/BENCH_dataplane_smoke.json
 
 clean:
 	rm -f linefs-bench

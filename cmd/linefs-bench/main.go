@@ -9,6 +9,7 @@
 //	linefs-bench -exp table3 -full    # paper-scale sizes (slow)
 //	linefs-bench -list                # enumerate experiments
 //	linefs-bench -kernelbench         # DES kernel microbench -> BENCH_kernel.json
+//	linefs-bench -databench           # data-plane microbench -> BENCH_dataplane.json
 //	linefs-bench -selfcheck           # run each experiment twice, fail on digest divergence
 //
 // Every experiment owns a self-contained sim.Env with a deterministic seed,
@@ -50,6 +51,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		j      = fs.Int("j", runtime.GOMAXPROCS(0), "experiments to run concurrently")
 		kbench = fs.Bool("kernelbench", false, "run DES kernel microbenchmarks and write BENCH_kernel.json")
 		kout   = fs.String("kernelbench-out", "BENCH_kernel.json", "output path for -kernelbench")
+		dbench = fs.Bool("databench", false, "run data-plane microbenchmarks and write BENCH_dataplane.json")
+		dout   = fs.String("databench-out", "BENCH_dataplane.json", "output path for -databench")
+		dtime  = fs.Duration("databench-time", time.Second, "per-metric measurement window for -databench")
 		self   = fs.Bool("selfcheck", false, "run each experiment twice and fail on sim-sanitizer digest divergence")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -79,6 +83,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "queue put+get pairs/sec:    %12.0f (baseline %12.0f, %.1fx)\n",
 			cur.QueueOpsPerSec, base.QueueOpsPerSec, cur.QueueOpsPerSec/base.QueueOpsPerSec)
 		fmt.Fprintf(stdout, "wrote %s\n", *kout)
+		return 0
+	}
+
+	if *dbench {
+		rep, err := bench.WriteDataBench(*dout, *dtime)
+		if err != nil {
+			fmt.Fprintf(stderr, "databench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "lzw compress MB/s:          %12.1f (baseline %12.1f, %.1fx)\n",
+			rep.Current.LZWCompressMBps, rep.Baseline.LZWCompressMBps, rep.Speedup.LZWCompressMBps)
+		fmt.Fprintf(stdout, "lzw decompress MB/s:        %12.1f (baseline %12.1f, %.1fx)\n",
+			rep.Current.LZWDecompressMBps, rep.Baseline.LZWDecompressMBps, rep.Speedup.LZWDecompressMBps)
+		fmt.Fprintf(stdout, "log encode entries/sec:     %12.0f (baseline %12.0f, %.1fx)\n",
+			rep.Current.LogEncodePerSec, rep.Baseline.LogEncodePerSec, rep.Speedup.LogEncodePerSec)
+		fmt.Fprintf(stdout, "log decode entries/sec:     %12.0f (baseline %12.0f, %.1fx)\n",
+			rep.Current.LogDecodePerSec, rep.Baseline.LogDecodePerSec, rep.Speedup.LogDecodePerSec)
+		fmt.Fprintf(stdout, "pm write+persist GB/s:      %12.2f (baseline %12.2f, %.1fx)\n",
+			rep.Current.PMWriteGBps, rep.Baseline.PMWriteGBps, rep.Speedup.PMWriteGBps)
+		fmt.Fprintf(stdout, "aggregate speedup (lzw+log geomean): %.1fx\n", rep.SpeedupAggregate)
+		fmt.Fprintf(stdout, "wrote %s\n", *dout)
 		return 0
 	}
 

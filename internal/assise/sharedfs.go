@@ -61,6 +61,10 @@ type slotState struct {
 
 	digestKick *sim.Event
 	repWaiters []repWaiter
+
+	// rawBuf is the digest read scratch, reused across rounds (decoded
+	// entries borrow it and are dropped before the next round).
+	rawBuf []byte
 }
 
 type repWaiter struct {
@@ -86,6 +90,9 @@ type mirrorState struct {
 	// stash reorders chunks that arrived ahead of the mirror head.
 	stash    map[uint64]*stashed
 	draining bool
+
+	// rawBuf is the digest read scratch, reused across rounds.
+	rawBuf []byte
 }
 
 type stashed struct {
@@ -181,7 +188,8 @@ func (s *SharedFS) runDigest(p *sim.Proc, ss *slotState) {
 		}
 		from, to := ss.digested, ss.log.Head()
 		ctx := s.cl.hostCtx(p, s.machine, "dfs")
-		entries, err := ss.log.DecodeRange(ctx, from, to)
+		entries, raw, err := ss.log.DecodeRangeScratch(ctx, ss.rawBuf, from, to)
+		ss.rawBuf = raw
 		if err != nil {
 			// Corrupt region: stop digesting this client.
 			return
@@ -438,7 +446,8 @@ func (s *SharedFS) runMirrorDigest(p *sim.Proc, ms *mirrorState) {
 		}
 		from, to := ms.digested, ms.log.Head()
 		ctx := s.cl.hostCtx(p, s.machine, "dfs")
-		entries, err := ms.log.DecodeRange(ctx, from, to)
+		entries, raw, err := ms.log.DecodeRangeScratch(ctx, ms.rawBuf, from, to)
+		ms.rawBuf = raw
 		if err != nil {
 			return
 		}

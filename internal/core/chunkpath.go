@@ -81,6 +81,11 @@ type clientState struct {
 	// public area).
 	fault error
 
+	// enc is the compression-stage LZW dictionary, reused across chunks.
+	// Compression never yields to the scheduler mid-call, so one encoder
+	// is safe even with several compress-stage workers.
+	enc compress.Encoder
+
 	mainPl *pipeline.Pipeline[*chunk]
 	repPl  *pipeline.Pipeline[*chunk]
 	pubPl  *pipeline.Pipeline[*chunk]
@@ -315,7 +320,9 @@ func (cs *clientState) stageSplit(p *sim.Proc, ck *chunk) bool {
 func (cs *clientState) stageCompress(p *sim.Proc, ck *chunk) bool {
 	n := cs.n
 	spec := n.cl.Cfg.Spec
-	comp := compress.Compress(ck.raw)
+	// The output must be chunk-owned (ck.payload is retained through
+	// replication), but the dictionary is reused across chunks.
+	comp := cs.enc.CompressInto(make([]byte, 0, len(ck.raw)/2+16), ck.raw)
 	n.nicCompute(p, time.Duration(float64(len(ck.raw))/spec.CompressBW*float64(time.Second)))
 	if len(comp) < len(ck.raw) {
 		ck.payload = comp

@@ -36,6 +36,10 @@ type mirrorState struct {
 	// fresh marks a mirror created mid-stream (NICFS recovery): it adopts
 	// the first arriving chunk's offset instead of expecting offset zero.
 	fresh bool
+
+	// dec is the decompression dictionary, reused across chunks (the
+	// decompressed bytes themselves are chunk-owned: they ride pubQ).
+	dec compress.Decoder
 }
 
 type pubJob struct {
@@ -185,7 +189,7 @@ func (ms *mirrorState) handleChunk(p *sim.Proc, rc *replChunk) {
 		// Decompression on the wimpy cores (reads are cheaper than the
 		// compression side; charge at 2x the compression bandwidth).
 		var err error
-		raw, err = compress.Decompress(rc.Payload)
+		raw, err = ms.dec.DecompressInto(make([]byte, 0, rc.RawLen), rc.Payload)
 		if err != nil {
 			return // corrupt transfer: never acknowledged
 		}

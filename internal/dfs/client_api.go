@@ -286,12 +286,14 @@ func (l *Client) WriteAt(p *sim.Proc, fd int, off uint64, data []byte) (int, err
 	if err := l.ensureLease(p, f.ino, lease.Write); err != nil {
 		return 0, err
 	}
-	dcopy := append([]byte(nil), data...)
-	at, err := l.append(p, &fs.Entry{Type: fs.OpWrite, Ino: f.ino, Off: off, Data: dcopy})
+	// The entry borrows data: Append encodes it into the log before
+	// returning (and the log keeps its own wire bytes), so no defensive
+	// copy is needed.
+	at, err := l.append(p, &fs.Entry{Type: fs.OpWrite, Ino: f.ino, Off: off, Data: data})
 	if err != nil {
 		return 0, err
 	}
-	l.indexWrite(f.ino, at, off, dcopy)
+	l.indexWrite(f.ino, at, off, data)
 	di := l.dirtyInode(f.ino)
 	end := off + uint64(len(data))
 	if !di.hasSz {

@@ -76,29 +76,59 @@ func (e *Entry) WireSize() int {
 
 func align8(n int) int { return (n + 7) &^ 7 }
 
-// Encode serializes the entry with its CRC.
-func (e *Entry) Encode() []byte {
-	buf := make([]byte, e.WireSize())
+// AppendWire serializes the entry with its CRC, appending the wire bytes to
+// dst and returning the extended slice. Pass dst[:0] to reuse a scratch
+// buffer; with enough capacity the call does not allocate. The scratch may
+// hold stale bytes, so the unused header bytes and the alignment tail are
+// zeroed explicitly — the wire format (and the CRC over it) pins them to
+// zero.
+func (e *Entry) AppendWire(dst []byte) []byte {
+	size := e.WireSize()
+	start := len(dst)
+	dst = growWire(dst, size)
+	buf := dst[start : start+size : start+size]
 	binary.LittleEndian.PutUint32(buf[0:], entryMagic)
 	// CRC at [4:8] filled last.
 	binary.LittleEndian.PutUint64(buf[8:], e.Seq)
 	buf[16] = byte(e.Type)
+	buf[17] = 0
 	binary.LittleEndian.PutUint16(buf[18:], uint16(len(e.Name)))
 	binary.LittleEndian.PutUint16(buf[20:], uint16(len(e.Name2)))
+	buf[22], buf[23] = 0, 0
 	binary.LittleEndian.PutUint32(buf[24:], uint32(e.Ino))
 	binary.LittleEndian.PutUint32(buf[28:], uint32(e.PIno))
 	binary.LittleEndian.PutUint32(buf[32:], uint32(e.PIno2))
+	binary.LittleEndian.PutUint32(buf[36:], 0)
 	binary.LittleEndian.PutUint64(buf[40:], e.Off)
 	binary.LittleEndian.PutUint32(buf[48:], uint32(len(e.Data)))
+	binary.LittleEndian.PutUint32(buf[52:], 0)
 	p := entryHdrSize
-	copy(buf[p:], e.Name)
-	p += len(e.Name)
-	copy(buf[p:], e.Name2)
-	p += len(e.Name2)
-	copy(buf[p:], e.Data)
-	crc := crc32.ChecksumIEEE(buf[8:])
-	binary.LittleEndian.PutUint32(buf[4:], crc)
-	return buf
+	p += copy(buf[p:], e.Name)
+	p += copy(buf[p:], e.Name2)
+	p += copy(buf[p:], e.Data)
+	for ; p < size; p++ {
+		buf[p] = 0
+	}
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(buf[8:]))
+	return dst
+}
+
+// growWire extends b by n bytes (contents unspecified), reallocating only
+// when capacity is insufficient.
+func growWire(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b[:len(b)+n]
+	}
+	nb := make([]byte, len(b)+n, 2*cap(b)+n)
+	copy(nb, b)
+	return nb
+}
+
+// Encode serializes the entry with its CRC into a fresh buffer. It is a
+// convenience wrapper over AppendWire; hot paths encode into a reused
+// scratch instead.
+func (e *Entry) Encode() []byte {
+	return e.AppendWire(make([]byte, 0, e.WireSize()))
 }
 
 // Decode errors.
@@ -108,25 +138,30 @@ var (
 	ErrShort    = fmt.Errorf("fs: log entry truncated")
 )
 
-// DecodeEntry parses one entry from buf, returning it and its wire size.
-func DecodeEntry(buf []byte) (*Entry, int, error) {
+// DecodeEntryInto parses one entry from buf into e, returning its wire
+// size. The entry's Data borrows buf's storage — no copy — so the caller
+// must not retain e.Data beyond buf's lifetime and must not mutate buf
+// while the entry is live (the scratch-buffer ownership rules are in
+// DESIGN.md §9). For write entries (no names) a steady-state call does not
+// allocate.
+func DecodeEntryInto(e *Entry, buf []byte) (int, error) {
 	if len(buf) < entryHdrSize {
-		return nil, 0, ErrShort
+		return 0, ErrShort
 	}
 	if binary.LittleEndian.Uint32(buf[0:]) != entryMagic {
-		return nil, 0, ErrBadMagic
+		return 0, ErrBadMagic
 	}
 	nameLen := int(binary.LittleEndian.Uint16(buf[18:]))
 	name2Len := int(binary.LittleEndian.Uint16(buf[20:]))
 	dataLen := int(binary.LittleEndian.Uint32(buf[48:]))
 	size := align8(entryHdrSize + nameLen + name2Len + dataLen)
 	if len(buf) < size {
-		return nil, 0, ErrShort
+		return 0, ErrShort
 	}
 	if crc32.ChecksumIEEE(buf[8:size]) != binary.LittleEndian.Uint32(buf[4:]) {
-		return nil, 0, ErrBadCRC
+		return 0, ErrBadCRC
 	}
-	e := &Entry{
+	*e = Entry{
 		Seq:   binary.LittleEndian.Uint64(buf[8:]),
 		Type:  EntryType(buf[16]),
 		Ino:   Ino(binary.LittleEndian.Uint32(buf[24:])),
@@ -139,8 +174,21 @@ func DecodeEntry(buf []byte) (*Entry, int, error) {
 	p += nameLen
 	e.Name2 = string(buf[p : p+name2Len])
 	p += name2Len
-	e.Data = append([]byte(nil), buf[p:p+dataLen]...)
-	return e, size, nil
+	e.Data = buf[p : p+dataLen : p+dataLen]
+	return size, nil
+}
+
+// DecodeEntry parses one entry from buf, returning it and its wire size.
+// The entry owns its Data (copied out of buf); callers that can honor the
+// borrow rule use DecodeEntryInto instead.
+func DecodeEntry(buf []byte) (*Entry, int, error) {
+	e := &Entry{}
+	n, err := DecodeEntryInto(e, buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	e.Data = append([]byte(nil), e.Data...)
+	return e, n, nil
 }
 
 // LogArea is a client-private operational log: a ring of entries in a PM
@@ -157,6 +205,12 @@ type LogArea struct {
 	head uint64 // next append offset (logical)
 	tail uint64 // oldest unreclaimed offset (logical)
 	seq  uint64 // next entry sequence number
+
+	// wireBuf and hdrBuf are encode scratch reused across Append and
+	// header writes. Appends to one LogArea are serialized by construction
+	// (head/seq updates already assume it), so a single scratch suffices.
+	wireBuf []byte
+	hdrBuf  [logHdrSize]byte
 }
 
 const (
@@ -190,7 +244,7 @@ func OpenLogArea(ctx *Ctx, base, size int64) (*LogArea, error) {
 }
 
 func (l *LogArea) writeHeader(c *Ctx) {
-	buf := make([]byte, logHdrSize)
+	buf := l.hdrBuf[:]
 	binary.LittleEndian.PutUint32(buf[0:], logMagic)
 	binary.LittleEndian.PutUint64(buf[8:], l.head)
 	binary.LittleEndian.PutUint64(buf[16:], l.tail)
@@ -260,7 +314,8 @@ var ErrLogFull = fmt.Errorf("fs: log full")
 // persists the advanced header. It returns the entry's logical offset.
 func (l *LogArea) Append(c *Ctx, e *Entry) (uint64, error) {
 	e.Seq = l.seq
-	wire := e.Encode()
+	l.wireBuf = e.AppendWire(l.wireBuf[:0])
+	wire := l.wireBuf
 	if int64(len(wire)) > l.Free() {
 		return 0, ErrLogFull
 	}
@@ -366,17 +421,36 @@ func (l *LogArea) AdvanceHead(c *Ctx, at uint64, n int) error {
 }
 
 // DecodeRange parses the entries in [from, to). Corruption yields an error
-// positioned at the failing entry.
+// positioned at the failing entry. The entries borrow the freshly read raw
+// buffer (see DecodeAll); the buffer lives as long as the entries do.
 func (l *LogArea) DecodeRange(c *Ctx, from, to uint64) ([]*Entry, error) {
 	raw := l.ReadRaw(c, from, int(to-from))
 	return DecodeAll(raw)
 }
 
-// DecodeAll parses a concatenation of encoded entries.
+// DecodeRangeScratch is DecodeRange with a caller-owned raw buffer: the
+// bytes are read into scratch (grown as needed) and the buffer is returned
+// for reuse. The decoded entries borrow that buffer — drop them before
+// passing it back in.
+func (l *LogArea) DecodeRangeScratch(c *Ctx, scratch []byte, from, to uint64) ([]*Entry, []byte, error) {
+	n := int(to - from)
+	if cap(scratch) < n {
+		scratch = make([]byte, n)
+	}
+	raw := scratch[:n]
+	l.rawRead(c, from, raw)
+	entries, err := DecodeAll(raw)
+	return entries, raw, err
+}
+
+// DecodeAll parses a concatenation of encoded entries. Entry Data slices
+// borrow raw's storage (DecodeEntryInto): callers must keep raw alive and
+// unmutated while the entries are in use.
 func DecodeAll(raw []byte) ([]*Entry, error) {
 	var out []*Entry
 	for off := 0; off < len(raw); {
-		e, n, err := DecodeEntry(raw[off:])
+		e := &Entry{}
+		n, err := DecodeEntryInto(e, raw[off:])
 		if err != nil {
 			return out, fmt.Errorf("at byte %d: %w", off, err)
 		}
@@ -384,6 +458,32 @@ func DecodeAll(raw []byte) ([]*Entry, error) {
 		off += n
 	}
 	return out, nil
+}
+
+// VisitRange decodes the entries in [from, to), invoking fn on each. The
+// raw bytes are read into scratch (grown as needed and returned for reuse)
+// and a single Entry is reused across calls: the *Entry and its borrowed
+// Data are valid only during fn. Digest-style scans use this to walk a log
+// without per-entry allocation.
+func (l *LogArea) VisitRange(c *Ctx, scratch []byte, from, to uint64, fn func(*Entry) error) ([]byte, error) {
+	n := int(to - from)
+	if cap(scratch) < n {
+		scratch = make([]byte, n)
+	}
+	raw := scratch[:n]
+	l.rawRead(c, from, raw)
+	var e Entry
+	for off := 0; off < n; {
+		sz, err := DecodeEntryInto(&e, raw[off:])
+		if err != nil {
+			return raw, fmt.Errorf("at byte %d: %w", off, err)
+		}
+		if err := fn(&e); err != nil {
+			return raw, err
+		}
+		off += sz
+	}
+	return raw, nil
 }
 
 // ResetTo repositions an (invalidated) mirror log at a new logical offset:

@@ -10,9 +10,18 @@ import (
 
 // PM models a byte-addressable persistent-memory device (Intel Optane DC in
 // App-Direct mode). It stores real bytes and distinguishes written from
-// persisted state: writes land in a volatile overlay and become durable only
+// persisted state: writes land in a volatile view and become durable only
 // after a Persist barrier (clwb+fence in the real system). Crash discards
-// the overlay, which lets tests exercise prefix crash consistency for real.
+// the volatile view, which lets tests exercise prefix crash consistency for
+// real.
+//
+// The two states are kept as full mirrored arrays: shadow is what programs
+// read (durable bytes plus unpersisted stores, written copy-in-place) and
+// data holds only persisted bytes. A sorted, coalesced span list records
+// where the two may differ. Writes therefore cost one memcpy and no
+// allocation — the seed kept a list of per-write buffer copies instead,
+// which made WriteNoCost the hottest allocation site in write-heavy
+// experiments and every read walk the whole list.
 //
 // Access costs are charged in virtual time: a fixed media latency per
 // operation plus serialization through the device's shared bandwidth link.
@@ -20,17 +29,19 @@ type PM struct {
 	Env  *sim.Env
 	Name string
 
-	data    []byte
-	overlay []pmRange // unpersisted writes, newest last
+	data   []byte   // persisted bytes only
+	shadow []byte   // persisted + unpersisted writes (what reads observe)
+	dirty  []pmSpan // sorted non-overlapping spans where shadow may differ
+	spare  []pmSpan // scratch for persist-time span rebuilds
 
 	ReadLat  time.Duration
 	WriteLat time.Duration
 	link     *Link
 }
 
-type pmRange struct {
-	off  int64
-	data []byte
+// pmSpan is a half-open byte range [off, end).
+type pmSpan struct {
+	off, end int64
 }
 
 // PMConfig sets PM device parameters.
@@ -68,6 +79,7 @@ func NewPM(env *sim.Env, name string, cfg PMConfig) *PM {
 		Env:      env,
 		Name:     name,
 		data:     make([]byte, cfg.Size),
+		shadow:   make([]byte, cfg.Size),
 		ReadLat:  cfg.ReadLat,
 		WriteLat: cfg.WriteLat,
 		link:     newPMLink(env, name, cfg.Bandwidth),
@@ -100,17 +112,7 @@ func (pm *PM) Read(p *sim.Proc, off int64, dst []byte) {
 // is modeled elsewhere, and for test inspection).
 func (pm *PM) ReadNoCost(off int64, dst []byte) {
 	pm.check(off, len(dst))
-	copy(dst, pm.data[off:])
-	// Patch in unpersisted overlay ranges, oldest first so newer writes win.
-	for _, r := range pm.overlay {
-		lo, hi := r.off, r.off+int64(len(r.data))
-		wlo, whi := off, off+int64(len(dst))
-		if hi <= wlo || lo >= whi {
-			continue
-		}
-		s, e := max64(lo, wlo), min64(hi, whi)
-		copy(dst[s-wlo:e-wlo], r.data[s-lo:e-lo])
-	}
+	copy(dst, pm.shadow[off:])
 }
 
 // Write stores src at off into the volatile overlay, charging media latency
@@ -132,15 +134,52 @@ func (pm *PM) WriteAmp(p *sim.Proc, off int64, src []byte, amp int) {
 	pm.WriteNoCost(off, src)
 }
 
-// WriteNoCost stores bytes without charging time.
+// WriteNoCost stores bytes without charging time: one copy into the shadow
+// view plus a span-list update, no allocation (src is not retained).
 func (pm *PM) WriteNoCost(off int64, src []byte) {
 	pm.check(off, len(src))
-	cp := make([]byte, len(src))
-	copy(cp, src)
-	pm.overlay = append(pm.overlay, pmRange{off: off, data: cp})
-	if len(pm.overlay) > 4096 {
-		pm.compactOverlay()
+	copy(pm.shadow[off:], src)
+	pm.markDirty(off, off+int64(len(src)))
+}
+
+// markDirty records [lo, hi) as possibly differing from durable data,
+// keeping pm.dirty sorted and coalesced. Log appends hit the two fast
+// paths (extend the last span or start a new one past it) without a search.
+func (pm *PM) markDirty(lo, hi int64) {
+	if lo >= hi {
+		return
 	}
+	d := pm.dirty
+	n := len(d)
+	if n == 0 || lo > d[n-1].end {
+		pm.dirty = append(d, pmSpan{off: lo, end: hi})
+		return
+	}
+	if last := &d[n-1]; lo >= last.off {
+		if hi > last.end {
+			last.end = hi
+		}
+		return
+	}
+	// General case: merge with every span overlapping or adjacent to
+	// [lo, hi). i is the first such span, j the first past the window.
+	i := sort.Search(n, func(k int) bool { return d[k].end >= lo })
+	j := sort.Search(n, func(k int) bool { return d[k].off > hi })
+	if i == j { // disjoint: insert at i
+		d = append(d, pmSpan{})
+		copy(d[i+1:], d[i:])
+		d[i] = pmSpan{off: lo, end: hi}
+		pm.dirty = d
+		return
+	}
+	if d[i].off < lo {
+		lo = d[i].off
+	}
+	if d[j-1].end > hi {
+		hi = d[j-1].end
+	}
+	d[i] = pmSpan{off: lo, end: hi}
+	pm.dirty = append(d[:i+1], d[j:]...)
 }
 
 // WritePersist writes src and immediately persists it (the common
@@ -157,81 +196,57 @@ func (pm *PM) Persist(p *sim.Proc, off, n int64) {
 	pm.PersistNoCost(off, n)
 }
 
-// PersistNoCost applies overlapping overlay ranges to durable storage
-// without charging time.
+// PersistNoCost copies the dirty parts of [off, off+n) from the shadow
+// view to durable storage without charging time. Dirty spans straddling
+// the window edge stay volatile outside it.
 func (pm *PM) PersistNoCost(off, n int64) {
-	kept := pm.overlay[:0]
-	for _, r := range pm.overlay {
-		lo, hi := r.off, r.off+int64(len(r.data))
-		if hi <= off || lo >= off+n {
-			kept = append(kept, r)
+	lo, hi := off, off+n
+	kept := pm.spare[:0]
+	for _, s := range pm.dirty {
+		if s.end <= lo || s.off >= hi {
+			kept = append(kept, s)
 			continue
 		}
-		s, e := max64(lo, off), min64(hi, off+n)
-		copy(pm.data[s:e], r.data[s-lo:e-lo])
-		// Keep any parts of the range outside the persisted window volatile.
-		if lo < s {
-			kept = append(kept, pmRange{off: lo, data: r.data[:s-lo]})
+		ps, pe := max64(s.off, lo), min64(s.end, hi)
+		copy(pm.data[ps:pe], pm.shadow[ps:pe])
+		if s.off < ps {
+			kept = append(kept, pmSpan{off: s.off, end: ps})
 		}
-		if e < hi {
-			kept = append(kept, pmRange{off: e, data: r.data[e-lo:]})
+		if pe < s.end {
+			kept = append(kept, pmSpan{off: pe, end: s.end})
 		}
 	}
-	pm.overlay = kept
+	pm.spare = pm.dirty[:0]
+	pm.dirty = kept
 }
 
 // PersistAll flushes every pending write (a full fence; used at clean
 // shutdown and in setup code).
 func (pm *PM) PersistAll() {
-	for _, r := range pm.overlay {
-		copy(pm.data[r.off:], r.data)
+	for _, s := range pm.dirty {
+		copy(pm.data[s.off:s.end], pm.shadow[s.off:s.end])
 	}
-	pm.overlay = nil
+	pm.dirty = pm.dirty[:0]
 }
 
 // Crash discards all unpersisted writes, emulating power loss or an OS
-// crash before the data reached the persistence domain.
+// crash before the data reached the persistence domain: the shadow view is
+// rewound to the durable bytes.
 func (pm *PM) Crash() {
-	pm.overlay = nil
+	for _, s := range pm.dirty {
+		copy(pm.shadow[s.off:s.end], pm.data[s.off:s.end])
+	}
+	pm.dirty = pm.dirty[:0]
 }
 
 // PendingBytes reports the volume of unpersisted data (test helper).
+// Overlapping writes count once: spans are coalesced.
 func (pm *PM) PendingBytes() int64 {
 	var n int64
-	for _, r := range pm.overlay {
-		n += int64(len(r.data))
+	for _, s := range pm.dirty {
+		n += s.end - s.off
 	}
 	return n
-}
-
-// compactOverlay merges the overlay into a fresh minimal set by applying it
-// to a shadow view. It preserves read semantics while bounding memory.
-func (pm *PM) compactOverlay() {
-	// Sort a copy by offset, then merge into coalesced ranges using the
-	// "newest wins" rule already guaranteed by sequential application.
-	type span struct{ off, end int64 }
-	spans := make([]span, 0, len(pm.overlay))
-	for _, r := range pm.overlay {
-		spans = append(spans, span{r.off, r.off + int64(len(r.data))})
-	}
-	sort.Slice(spans, func(i, j int) bool { return spans[i].off < spans[j].off })
-	merged := spans[:0]
-	for _, s := range spans {
-		if len(merged) > 0 && s.off <= merged[len(merged)-1].end {
-			if s.end > merged[len(merged)-1].end {
-				merged[len(merged)-1].end = s.end
-			}
-			continue
-		}
-		merged = append(merged, s)
-	}
-	fresh := make([]pmRange, 0, len(merged))
-	for _, s := range merged {
-		buf := make([]byte, s.end-s.off)
-		pm.ReadNoCost(s.off, buf)
-		fresh = append(fresh, pmRange{off: s.off, data: buf})
-	}
-	pm.overlay = fresh
 }
 
 func max64(a, b int64) int64 {

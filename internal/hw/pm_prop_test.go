@@ -1,0 +1,127 @@
+package hw
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"linefs/internal/sim"
+)
+
+// pmModel is the obviously-correct PM reference: two full arrays, where
+// persist copies the window wholesale (unwritten bytes are identical in
+// both views, so copying them is the identity) and crash rewinds the
+// volatile view to the durable bytes.
+type pmModel struct {
+	durable  []byte
+	volatile []byte
+}
+
+func newPMModel(size int64) *pmModel {
+	return &pmModel{durable: make([]byte, size), volatile: make([]byte, size)}
+}
+
+func (m *pmModel) write(off int64, src []byte) { copy(m.volatile[off:], src) }
+func (m *pmModel) persist(off, n int64)        { copy(m.durable[off:off+n], m.volatile[off:off+n]) }
+func (m *pmModel) persistAll()                 { copy(m.durable, m.volatile) }
+func (m *pmModel) crash()                      { copy(m.volatile, m.durable) }
+
+// TestPMMatchesModel drives the span-tracking PM and the naive model with
+// the same random mix of overlapping writes, partial persists, full fences
+// and crashes, comparing the read view throughout and the durable view
+// after every crash.
+func TestPMMatchesModel(t *testing.T) {
+	t.Parallel()
+	const size = 1 << 16
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		env := sim.NewEnv(1)
+		pm := NewPM(env, "pm", PMConfig{Size: size, Bandwidth: 1e9})
+		model := newPMModel(size)
+		buf := make([]byte, 4096)
+		got := make([]byte, size)
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3, 4: // write
+				n := 1 + rng.Intn(len(buf))
+				off := int64(rng.Intn(size - n))
+				rng.Read(buf[:n])
+				pm.WriteNoCost(off, buf[:n])
+				model.write(off, buf[:n])
+			case 5, 6: // partial persist
+				n := int64(1 + rng.Intn(8192))
+				off := int64(rng.Intn(size - int(n)))
+				pm.PersistNoCost(off, n)
+				model.persist(off, n)
+			case 7: // full fence
+				pm.PersistAll()
+				model.persistAll()
+			case 8: // crash
+				pm.Crash()
+				model.crash()
+				pm.ReadNoCost(0, got)
+				if !bytes.Equal(got, model.durable) {
+					t.Fatalf("seed %d op %d: durable state diverged after crash", seed, op)
+				}
+			case 9: // read a window
+				n := 1 + rng.Intn(size/4)
+				off := int64(rng.Intn(size - n))
+				pm.ReadNoCost(off, got[:n])
+				if !bytes.Equal(got[:n], model.volatile[off:off+int64(n)]) {
+					t.Fatalf("seed %d op %d: read view diverged at [%d,%d)", seed, op, off, off+int64(n))
+				}
+			}
+		}
+		pm.ReadNoCost(0, got)
+		if !bytes.Equal(got, model.volatile) {
+			t.Fatalf("seed %d: final read view diverged", seed)
+		}
+		pm.Crash()
+		pm.ReadNoCost(0, got)
+		if !bytes.Equal(got, model.durable) {
+			t.Fatalf("seed %d: final durable state diverged", seed)
+		}
+	}
+}
+
+// TestPMWriteNoCostAllocFree is the 0 allocs/op gate for the PM write hot
+// path: steady-state write+persist must not allocate and must not retain
+// the caller's buffer.
+func TestPMWriteNoCostAllocFree(t *testing.T) {
+	env := sim.NewEnv(1)
+	pm := NewPM(env, "pm", PMConfig{Size: 1 << 20, Bandwidth: 1e9})
+	blk := make([]byte, 16<<10)
+	off := int64(0)
+	// Warm the span slices past their steady-state capacity.
+	pm.WriteNoCost(0, blk)
+	pm.PersistNoCost(0, int64(len(blk)))
+	if a := testing.AllocsPerRun(100, func() {
+		pm.WriteNoCost(off, blk)
+		pm.PersistNoCost(off, int64(len(blk)))
+		off += int64(len(blk))
+		if off+int64(len(blk)) > pm.Size() {
+			off = 0
+		}
+	}); a != 0 {
+		t.Errorf("WriteNoCost+PersistNoCost steady state: %v allocs/op, want 0", a)
+	}
+}
+
+func BenchmarkPMWritePersist(b *testing.B) {
+	env := sim.NewEnv(1)
+	pm := NewPM(env, "pm", PMConfig{Size: 64 << 20, Bandwidth: 1e9})
+	blk := make([]byte, 16<<10)
+	rand.New(rand.NewSource(1)).Read(blk)
+	b.SetBytes(int64(len(blk)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	off := int64(0)
+	for i := 0; i < b.N; i++ {
+		pm.WriteNoCost(off, blk)
+		pm.PersistNoCost(off, int64(len(blk)))
+		off += int64(len(blk))
+		if off+int64(len(blk)) > pm.Size() {
+			off = 0
+		}
+	}
+}

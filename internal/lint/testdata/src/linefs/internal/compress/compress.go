@@ -7,3 +7,9 @@ func Compress(src []byte) []byte { return nil }
 
 // Decompress expands src.
 func Decompress(src []byte) ([]byte, error) { return nil, nil }
+
+// Decoder is the stub reusable decompressor.
+type Decoder struct{}
+
+// DecompressInto expands src, appending to dst.
+func (d *Decoder) DecompressInto(dst, src []byte) ([]byte, error) { return nil, nil }

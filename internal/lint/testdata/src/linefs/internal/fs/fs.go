@@ -26,6 +26,16 @@ func (l *LogArea) AdvanceHead(c *Ctx, at uint64, n int) error { return nil }
 // DecodeRange parses entries in a range.
 func (l *LogArea) DecodeRange(c *Ctx, from, to uint64) ([]*Entry, error) { return nil, nil }
 
+// DecodeRangeScratch parses entries in a range into a reusable buffer.
+func (l *LogArea) DecodeRangeScratch(c *Ctx, scratch []byte, from, to uint64) ([]*Entry, []byte, error) {
+	return nil, nil, nil
+}
+
+// VisitRange streams entries in a range through fn.
+func (l *LogArea) VisitRange(c *Ctx, scratch []byte, from, to uint64, fn func(*Entry) error) ([]byte, error) {
+	return nil, nil
+}
+
 // Tail returns the oldest offset.
 func (l *LogArea) Tail() uint64 { return 0 }
 
@@ -34,6 +44,9 @@ func (l *LogArea) Head() uint64 { return 0 }
 
 // DecodeEntry parses one entry.
 func DecodeEntry(buf []byte) (*Entry, int, error) { return nil, 0, nil }
+
+// DecodeEntryInto parses one entry into e, borrowing from buf.
+func DecodeEntryInto(e *Entry, buf []byte) (int, error) { return 0, nil }
 
 // DecodeAll parses concatenated entries.
 func DecodeAll(raw []byte) ([]*Entry, error) { return nil, nil }

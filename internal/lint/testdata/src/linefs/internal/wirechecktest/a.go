@@ -7,13 +7,22 @@ import (
 )
 
 func bad(la *fs.LogArea, ctx *fs.Ctx, e *fs.Entry, raw []byte) {
-	la.Append(ctx, e)             // want `result of LogArea\.Append dropped`
-	fs.DecodeEntry(raw)           // want `result of fs\.DecodeEntry dropped`
-	compress.Decompress(raw)      // want `result of compress\.Decompress dropped`
-	_, _ = fs.DecodeAll(raw)      // want `error from fs\.DecodeAll assigned to _`
-	_ = la.AdvanceHead(ctx, 0, 0) // want `error from LogArea\.AdvanceHead assigned to _`
-	_ = la.MirrorRaw(ctx, 0, raw) // want `error from LogArea\.MirrorRaw assigned to _`
+	la.Append(ctx, e)                // want `result of LogArea\.Append dropped`
+	fs.DecodeEntry(raw)              // want `result of fs\.DecodeEntry dropped`
+	compress.Decompress(raw)         // want `result of compress\.Decompress dropped`
+	_, _ = fs.DecodeAll(raw)         // want `error from fs\.DecodeAll assigned to _`
+	_ = la.AdvanceHead(ctx, 0, 0)    // want `error from LogArea\.AdvanceHead assigned to _`
+	_ = la.MirrorRaw(ctx, 0, raw)    // want `error from LogArea\.MirrorRaw assigned to _`
 	_, _ = fs.OpenLogArea(ctx, 0, 0) // want `error from fs\.OpenLogArea assigned to _`
+}
+
+func badScratch(la *fs.LogArea, ctx *fs.Ctx, e *fs.Entry, d *compress.Decoder, raw []byte) {
+	fs.DecodeEntryInto(e, raw)                      // want `result of fs\.DecodeEntryInto dropped`
+	d.DecompressInto(nil, raw)                      // want `result of Decoder\.DecompressInto dropped`
+	_, _ = d.DecompressInto(nil, raw)               // want `error from Decoder\.DecompressInto assigned to _`
+	_, _ = fs.DecodeEntryInto(e, raw)               // want `error from fs\.DecodeEntryInto assigned to _`
+	_, _, _ = la.DecodeRangeScratch(ctx, nil, 0, 0) // want `error from LogArea\.DecodeRangeScratch assigned to _`
+	_, _ = la.VisitRange(ctx, nil, 0, 0, nil)       // want `error from LogArea\.VisitRange assigned to _`
 }
 
 func good(la *fs.LogArea, ctx *fs.Ctx, e *fs.Entry, raw []byte) error {
@@ -41,8 +50,8 @@ func allowed(la *fs.LogArea, ctx *fs.Ctx) {
 // unrelated calls with the same names on other types are not flagged.
 type other struct{}
 
-func (other) Append(a, b int)      {}
-func (other) AdvanceHead() error   { return nil }
+func (other) Append(a, b int)    {}
+func (other) AdvanceHead() error { return nil }
 
 func notWire(o other) {
 	o.Append(1, 2)

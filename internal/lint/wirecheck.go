@@ -24,16 +24,20 @@ var WireCheck = &Analyzer{
 // logic.
 var wireFuncs = map[string]map[string]bool{
 	"internal/fs": {
-		"DecodeEntry": true,
-		"DecodeAll":   true,
-		"DecodeRange": true,
-		"Append":      true,
-		"MirrorRaw":   true,
-		"AdvanceHead": true,
-		"OpenLogArea": true,
+		"DecodeEntry":        true,
+		"DecodeEntryInto":    true,
+		"DecodeAll":          true,
+		"DecodeRange":        true,
+		"DecodeRangeScratch": true,
+		"VisitRange":         true,
+		"Append":             true,
+		"MirrorRaw":          true,
+		"AdvanceHead":        true,
+		"OpenLogArea":        true,
 	},
 	"internal/compress": {
-		"Decompress": true,
+		"Decompress":     true,
+		"DecompressInto": true,
 	},
 }
 
