@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build lint test-short test race selfcheck test-full bench kernelbench databench databench-smoke clean
+.PHONY: ci vet build lint lint-fix-list test-short test race selfcheck test-full bench kernelbench databench databench-smoke clean
 
 ci: vet build lint test-short race selfcheck databench-smoke
 
@@ -14,10 +14,19 @@ vet:
 build:
 	$(GO) build ./...
 
-# Determinism lint suite (DESIGN.md §8): nodeterm, maporder, procctx,
-# wirecheck over every package in the module. Zero findings is the gate.
+# Determinism + memory-contract lint suite (DESIGN.md §8, §10): nodeterm,
+# maporder, procctx, wirecheck, borrowcheck, scratchflow, hotalloc over
+# every package in the module. Zero unsuppressed findings is the gate;
+# malformed //lint:allow directives (unknown analyzer, no justification)
+# are themselves findings, so unjustified suppressions fail here too.
 lint:
 	$(GO) run ./cmd/linefs-lint ./...
+
+# Suppression audit: every //lint:allow directive in the module with its
+# file:line and justification, for reviewing what the lint gate is not
+# seeing.
+lint-fix-list:
+	$(GO) run ./cmd/linefs-lint -allows ./...
 
 # Fast development loop: skips the ~30s TencentSort workload and the
 # baseline cross-check suites. Target: under a minute on one core.

@@ -1,5 +1,5 @@
-// Command linefs-lint runs the repo's determinism lint suite (see
-// internal/lint and DESIGN.md, "The determinism contract") over the module.
+// Command linefs-lint runs the repo's determinism and memory-contract lint
+// suite (see internal/lint and DESIGN.md §8 and §10) over the module.
 //
 // Usage:
 //
@@ -7,14 +7,21 @@
 //	linefs-lint ./...        # same
 //	linefs-lint internal/fs internal/core
 //	linefs-lint -list        # list analyzers and exit
+//	linefs-lint -json ./...  # one JSON object per finding, suppressed included
+//	linefs-lint -allows ./...# list every //lint:allow directive
+//	linefs-lint -C dir ...   # use dir as the module root
 //
 // Findings print as file:line: message (analyzer); the exit status is 1 if
-// anything was found. Suppress a finding with a justified directive:
+// anything unsuppressed was found. Suppress a finding with a justified
+// directive:
 //
 //	//lint:allow <analyzer> <why this is safe>
 //
 // on the offending line or the line above. Directives with unknown analyzer
-// names or missing justifications are themselves findings.
+// names or missing justifications are themselves findings. -json emits every
+// finding, suppressed ones included (with "suppressed": true), so audits see
+// what the directives are hiding; the exit status still gates only on
+// unsuppressed findings.
 //
 // The suite is built on the standard library's go/types with the source
 // importer, so it runs with no module network and no compiled export data.
@@ -26,8 +33,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -40,49 +49,99 @@ import (
 const modulePath = "linefs"
 
 func main() {
-	list := flag.Bool("list", false, "list analyzers and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonFinding is the -json line schema: one object per finding, stable
+// field set, one finding per line.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// run is main with its dependencies injected, so tests can drive the CLI
+// end to end and compare byte-for-byte output.
+func run(args []string, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet("linefs-lint", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	list := fl.Bool("list", false, "list analyzers and exit")
+	jsonOut := fl.Bool("json", false, "emit one JSON object per finding (suppressed included)")
+	allows := fl.Bool("allows", false, "list every //lint:allow directive and exit")
+	chdir := fl.String("C", "", "module root directory (default: walk up to go.mod)")
+	if err := fl.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("  %-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "  %-11s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
-	root, err := findModuleRoot()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	root := *chdir
+	if root == "" {
+		var err error
+		root, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
 	}
 
-	paths, err := targetPackages(root, flag.Args())
+	paths, err := targetPackages(root, fl.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 
 	loader := lint.NewLoader(root, modulePath)
-	findings := 0
+	unsuppressed := 0
 	failed := false
+	enc := json.NewEncoder(stdout)
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "linefs-lint: %v\n", err)
+			fmt.Fprintf(stderr, "linefs-lint: %v\n", err)
 			failed = true
 			continue
 		}
+		if *allows {
+			for _, a := range lint.Allows(pkg.Fset, pkg.Files) {
+				fmt.Fprintf(stdout, "%s:%d: %s: %s\n", a.Pos.Filename, a.Pos.Line, a.Analyzer, a.Justification)
+			}
+			continue
+		}
 		for _, d := range lint.RunAnalyzers(pkg, lint.All()) {
-			fmt.Println(d)
-			findings++
+			if !d.Suppressed {
+				unsuppressed++
+			}
+			switch {
+			case *jsonOut:
+				enc.Encode(jsonFinding{
+					File:       d.Pos.Filename,
+					Line:       d.Pos.Line,
+					Col:        d.Pos.Column,
+					Analyzer:   d.Analyzer,
+					Message:    d.Message,
+					Suppressed: d.Suppressed,
+				})
+			case !d.Suppressed:
+				fmt.Fprintln(stdout, d)
+			}
 		}
 	}
-	if failed || findings > 0 {
-		if findings > 0 {
-			fmt.Fprintf(os.Stderr, "linefs-lint: %d finding(s)\n", findings)
+	if failed || unsuppressed > 0 {
+		if unsuppressed > 0 {
+			fmt.Fprintf(stderr, "linefs-lint: %d finding(s)\n", unsuppressed)
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // findModuleRoot walks up from the working directory to the go.mod.

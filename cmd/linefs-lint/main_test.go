@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// repoRoot locates the module root from this test file.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate test source")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+// lintTestdata locates internal/lint's analysistest tree, which doubles as
+// a module with known findings for CLI tests.
+func lintTestdata(t *testing.T) string {
+	return filepath.Join(repoRoot(t), "internal", "lint", "testdata", "src", "linefs")
+}
+
+// TestJSONSchema drives -json over the analysistest tree and checks the
+// one-object-per-line schema: every line parses, carries exactly the
+// documented fields, and the stream includes both suppressed and
+// unsuppressed findings.
+func TestJSONSchema(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", lintTestdata(t), "-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (testdata has unsuppressed findings); stderr: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("no JSON output")
+	}
+	sawSuppressed, sawUnsuppressed := false, false
+	for _, line := range lines {
+		var raw map[string]any
+		if err := json.Unmarshal([]byte(line), &raw); err != nil {
+			t.Fatalf("line is not JSON: %q: %v", line, err)
+		}
+		for _, k := range []string{"file", "line", "col", "analyzer", "message", "suppressed"} {
+			if _, ok := raw[k]; !ok {
+				t.Fatalf("finding missing %q: %s", k, line)
+			}
+		}
+		if len(raw) != 6 {
+			t.Fatalf("finding has %d fields, want 6: %s", len(raw), line)
+		}
+		var f jsonFinding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("schema mismatch: %q: %v", line, err)
+		}
+		if f.File == "" || f.Line <= 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("empty required field in %s", line)
+		}
+		if f.Suppressed {
+			sawSuppressed = true
+		} else {
+			sawUnsuppressed = true
+		}
+	}
+	if !sawSuppressed || !sawUnsuppressed {
+		t.Errorf("want both suppressed and unsuppressed findings in stream; suppressed=%v unsuppressed=%v",
+			sawSuppressed, sawUnsuppressed)
+	}
+}
+
+// TestDeterministicOutput runs the full suite twice over the real module
+// and requires byte-identical output — the ordering contract CI diffs
+// depend on.
+func TestDeterministicOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module twice")
+	}
+	root := repoRoot(t)
+	runOnce := func() (string, int) {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-C", root, "-json", "./..."}, &stdout, &stderr)
+		if stderr.Len() > 0 && code == 2 {
+			t.Fatalf("driver error: %s", stderr.String())
+		}
+		return stdout.String(), code
+	}
+	out1, code1 := runOnce()
+	out2, code2 := runOnce()
+	if out1 != out2 {
+		t.Errorf("output differs between runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", out1, out2)
+	}
+	if code1 != code2 {
+		t.Errorf("exit codes differ: %d vs %d", code1, code2)
+	}
+	if code1 != 0 {
+		t.Errorf("module lint not clean: exit %d\n%s", code1, out1)
+	}
+}
+
+// TestAllowsListing checks -allows prints every directive with file:line.
+func TestAllowsListing(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", lintTestdata(t), "-allows", "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "scratchflow") || !strings.Contains(out, "hotalloc") {
+		t.Errorf("expected directives for scratchflow and hotalloc in:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !strings.Contains(line, ".go:") {
+			t.Errorf("allow line missing file:line: %q", line)
+		}
+	}
+}

@@ -99,7 +99,7 @@ func benchEntry() *fs.Entry {
 // (iterations/sec, allocs/op). minTime bounds the measurement window, so a
 // smoke run can use a few milliseconds and CI stays fast.
 func rate(minTime time.Duration, f func()) (persec, allocsPerOp float64) {
-	f() // warmup: size scratch buffers, fault pages
+	f()          // warmup: size scratch buffers, fault pages
 	runtime.GC() // drain garbage from prior metrics so GC pauses don't leak across columns
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)

@@ -1,0 +1,95 @@
+//go:build ignore
+
+// gen_fuzz_seeds writes the checked-in seed corpus for FuzzLZWRoundTrip
+// under testdata/fuzz/FuzzLZWRoundTrip. The f.Add seeds cover the easy
+// shapes; these files aim the fuzzer at the codec's structural edges:
+// the KwKwK self-reference, every code-width step, the clear-code reset
+// (via a de Bruijn sequence that exhausts the 2-gram space and forces the
+// dictionary past resetAt inside 64 KiB), and pathological byte patterns.
+//
+// Run with: go run gen_fuzz_seeds.go
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+func main() {
+	dir := filepath.Join("testdata", "fuzz", "FuzzLZWRoundTrip")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fail(err)
+	}
+	seeds := map[string][]byte{
+		"empty":        nil,
+		"single":       []byte{0x42},
+		"kwkwk":        kwkwk(),
+		"long-run":     bytes.Repeat([]byte{0xAA}, 1<<15),
+		"width-9bit":   widthRamp(1 << 9),
+		"width-12bit":  widthRamp(1 << 12),
+		"width-16bit":  widthRamp(1 << 16),
+		"alternating":  bytes.Repeat([]byte{0xFF, 0x00}, 1<<12),
+		"debruijn-256": deBruijn2(),
+	}
+	for name, data := range seeds {
+		path := filepath.Join(dir, name)
+		var buf bytes.Buffer
+		buf.WriteString("go test fuzz v1\n")
+		fmt.Fprintf(&buf, "[]byte(%q)\n", data)
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%d input bytes)\n", path, len(data))
+	}
+}
+
+// kwkwk produces the classic cScSc pattern whose decode hits the
+// code==next case: the decoder must expand a dictionary entry that is
+// being defined by the very code that references it.
+func kwkwk() []byte {
+	// "ababab..." makes every new entry the previous one plus its own
+	// first byte, keeping the decoder in the KwKwK case repeatedly.
+	return bytes.Repeat([]byte("ab"), 256)
+}
+
+// widthRamp emits enough distinct 2-grams to push the dictionary's next
+// code past n, exercising the 9->16 bit width steps and, at 1<<16, the
+// resetAt clear.
+func widthRamp(n int) []byte {
+	var out []byte
+	for i := 0; len(out) < 2*n; i++ {
+		out = append(out, byte(i), byte(i>>8))
+	}
+	return out
+}
+
+// deBruijn2 returns the binary de Bruijn sequence B(256, 2): 65536 bytes
+// (plus a wrap byte) in which every ordered byte pair occurs exactly once —
+// the densest possible stream of never-before-seen 2-grams, driving the
+// encoder dictionary to resetAt as fast as any input can.
+func deBruijn2() []byte {
+	// Standard greedy (prefer-largest) construction of a de Bruijn cycle
+	// over alphabet 256, subsequence length 2.
+	seen := make([]bool, 1<<16)
+	out := []byte{0}
+	cur := 0
+	for i := 0; i < 1<<16; i++ {
+		for b := 255; b >= 0; b-- {
+			key := cur<<8 | b
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, byte(b))
+				cur = b
+				break
+			}
+		}
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -135,6 +135,9 @@ func TestEncoderReuseAcrossCalls(t *testing.T) {
 // TestCompressIntoSteadyStateAllocFree is the 0 allocs/op gate for the
 // steady-state compression path (warm codec, pre-sized scratch).
 func TestCompressIntoSteadyStateAllocFree(t *testing.T) {
+	if BorrowSanitizerEnabled() {
+		t.Skip("borrow-sanitizer forces fresh allocations by design")
+	}
 	rng := rand.New(rand.NewSource(21))
 	src := make([]byte, 256<<10)
 	for i := range src {

@@ -160,7 +160,12 @@ func hashKey(key uint32) uint32 {
 // the extended slice. Pass dst[:0] to reuse a scratch buffer; with enough
 // capacity the call does not allocate. Empty input yields a minimal valid
 // stream.
+//
+//linefs:hotpath
 func (e *Encoder) CompressInto(dst, src []byte) []byte {
+	if len(dst) == 0 {
+		dst = poisonScratch(dst)
+	}
 	if e.tab == nil {
 		e.init()
 	}
@@ -269,7 +274,12 @@ func growBytes(b []byte, n int) []byte {
 // CompressInto, appending the output to dst and returning the extended
 // slice. Pass dst[:0] to reuse a scratch buffer; with enough capacity the
 // call does not allocate. On error the returned slice must be discarded.
+//
+//linefs:hotpath
 func (d *Decoder) DecompressInto(dst, src []byte) ([]byte, error) {
+	if len(dst) == 0 {
+		dst = poisonScratch(dst)
+	}
 	if d.tab == nil {
 		d.init()
 	}

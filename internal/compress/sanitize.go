@@ -1,0 +1,45 @@
+package compress
+
+import "sync/atomic"
+
+// The compress side of the borrow-sanitizer (see internal/fs/sanitize.go
+// and DESIGN.md §10): CompressInto and DecompressInto hand their output
+// scratch back for reuse, so the same poison-and-replace discipline
+// applies. The packages keep independent gates — no fs dependency here —
+// and both default on under -tags linefs_borrowsan.
+
+// sanitizeOn gates scratch poisoning.
+var sanitizeOn atomic.Bool
+
+// sanitizeGen rotates the poison fill byte.
+var sanitizeGen atomic.Uint32
+
+// poisonBase is the poison byte for generation 0; generations occupy
+// poisonBase..poisonBase+7.
+const poisonBase = 0xA8
+
+// SetBorrowSanitizer enables or disables scratch poisoning and reports the
+// previous setting.
+func SetBorrowSanitizer(on bool) bool { return sanitizeOn.Swap(on) }
+
+// BorrowSanitizerEnabled reports whether scratch poisoning is active.
+// Allocation-count tests skip under the sanitizer: forcing fresh
+// allocations is its entire point.
+func BorrowSanitizerEnabled() bool { return sanitizeOn.Load() }
+
+// poisonScratch fills buf to capacity with the current generation's poison
+// byte and returns nil so the caller allocates fresh storage; with the
+// sanitizer off it returns buf untouched. Only empty buffers are poisoned
+// by the callers here: a non-empty dst means the caller is appending to
+// data it still owns, not reusing a spent scratch.
+func poisonScratch(buf []byte) []byte {
+	if !sanitizeOn.Load() {
+		return buf
+	}
+	p := poisonBase | byte(sanitizeGen.Add(1)&7)
+	buf = buf[:cap(buf)]
+	for i := range buf {
+		buf[i] = p
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+//go:build linefs_borrowsan
+
+package compress
+
+// Building with -tags linefs_borrowsan turns the borrow-sanitizer on by
+// default, so the whole test suite runs with scratch poisoning active.
+func init() { sanitizeOn.Store(true) }

@@ -1,0 +1,67 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+)
+
+// isPoison reports whether b is entirely poison fill (the compress-side
+// twin of fs.IsPoisoned; the packages share the poison byte range).
+func isPoison(b []byte) bool {
+	if len(b) == 0 {
+		return false
+	}
+	for _, c := range b {
+		if c&^7 != poisonBase {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBorrowSanitizerPoisonsReusedOutput retains a DecompressInto result,
+// reuses the scratch, and checks the stale slice reads pure poison. Not
+// parallel: the sanitizer gate is process-global.
+func TestBorrowSanitizerPoisonsReusedOutput(t *testing.T) {
+	prev := SetBorrowSanitizer(true)
+	defer SetBorrowSanitizer(prev)
+
+	src := bytes.Repeat([]byte("linefs"), 100)
+	enc := NewEncoder()
+	dec := NewDecoder()
+	comp := enc.CompressInto(nil, src)
+
+	out, err := dec.DecompressInto(nil, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := out
+	if !bytes.Equal(stale, src) {
+		t.Fatal("round trip wrong before scratch reuse")
+	}
+
+	// The violation: stale still aliases out's storage when the buffer goes
+	// back in as scratch.
+	if _, err := dec.DecompressInto(out[:0], comp); err != nil {
+		t.Fatal(err)
+	}
+	if !isPoison(stale) {
+		t.Fatalf("stale decompress output not poisoned; starts % x", stale[:8])
+	}
+}
+
+// TestBorrowSanitizerAppendModeUntouched pins the len(dst)>0 carve-out:
+// appending to a non-empty buffer is ownership, not scratch reuse, and
+// must not poison the existing bytes.
+func TestBorrowSanitizerAppendModeUntouched(t *testing.T) {
+	prev := SetBorrowSanitizer(true)
+	defer SetBorrowSanitizer(prev)
+
+	var enc Encoder
+	prefix := []byte{1, 2, 3, 4}
+	dst := append([]byte(nil), prefix...)
+	dst = enc.CompressInto(dst, []byte("payload"))
+	if !bytes.Equal(dst[:4], prefix) {
+		t.Fatalf("append-mode CompressInto disturbed the owned prefix: % x", dst[:4])
+	}
+}

@@ -275,6 +275,7 @@ func (cs *clientState) stageValidate(p *sim.Proc, ck *chunk) bool {
 	if !n.cl.Cfg.DisableCoalesce {
 		kept, dropped = fs.Coalesce(entries)
 	}
+	//lint:allow borrowcheck ck.entries borrows ck.raw, which the chunk keeps alive through publish
 	ck.entries = kept
 	ck.dropped = dropped
 	n.CoalescedBytes += dropped
@@ -320,15 +321,24 @@ func (cs *clientState) stageSplit(p *sim.Proc, ck *chunk) bool {
 func (cs *clientState) stageCompress(p *sim.Proc, ck *chunk) bool {
 	n := cs.n
 	spec := n.cl.Cfg.Spec
-	// The output must be chunk-owned (ck.payload is retained through
-	// replication), but the dictionary is reused across chunks.
-	comp := cs.enc.CompressInto(make([]byte, 0, len(ck.raw)/2+16), ck.raw)
+	comp := compressChunk(&cs.enc, ck.raw)
 	n.nicCompute(p, time.Duration(float64(len(ck.raw))/spec.CompressBW*float64(time.Second)))
 	if len(comp) < len(ck.raw) {
 		ck.payload = comp
 		ck.compressed = true
 	}
 	return true
+}
+
+// compressChunk LZW-compresses raw into a chunk-owned buffer: ck.payload
+// is retained through replication, so the output cannot share a scratch —
+// only the encoder dictionary is reusable across chunks. Pure codec work;
+// the caller charges the virtual-time cost.
+//
+//linefs:hotpath
+func compressChunk(enc *compress.Encoder, raw []byte) []byte {
+	//lint:allow hotalloc the chunk owns its payload; the reusable part is the encoder dictionary
+	return enc.CompressInto(make([]byte, 0, len(raw)/2+16), raw)
 }
 
 // stagePublish applies chunks to the public area in log order, buffering

@@ -177,6 +177,16 @@ func (ms *mirrorState) run(p *sim.Proc) {
 	}
 }
 
+// decompressPayload expands a compressed chunk into a fresh mirror-owned
+// buffer sized from the declared raw length. Pure codec work; the caller
+// charges the virtual-time cost.
+//
+//linefs:hotpath
+func decompressPayload(dec *compress.Decoder, payload []byte, rawLen int) ([]byte, error) {
+	//lint:allow hotalloc the mirror retains the expanded payload; the reusable part is the decoder dictionary
+	return dec.DecompressInto(make([]byte, 0, rawLen), payload)
+}
+
 // handleChunk is steps 4–7 of Figure 3: forward to the next hop (in
 // parallel with the local copy), persist the chunk into the local PM log
 // mirror, acknowledge the primary, and publish locally.
@@ -189,7 +199,7 @@ func (ms *mirrorState) handleChunk(p *sim.Proc, rc *replChunk) {
 		// Decompression on the wimpy cores (reads are cheaper than the
 		// compression side; charge at 2x the compression bandwidth).
 		var err error
-		raw, err = ms.dec.DecompressInto(make([]byte, 0, rc.RawLen), rc.Payload)
+		raw, err = decompressPayload(&ms.dec, rc.Payload, rc.RawLen)
 		if err != nil {
 			return // corrupt transfer: never acknowledged
 		}

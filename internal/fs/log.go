@@ -82,6 +82,8 @@ func align8(n int) int { return (n + 7) &^ 7 }
 // hold stale bytes, so the unused header bytes and the alignment tail are
 // zeroed explicitly — the wire format (and the CRC over it) pins them to
 // zero.
+//
+//linefs:hotpath
 func (e *Entry) AppendWire(dst []byte) []byte {
 	size := e.WireSize()
 	start := len(dst)
@@ -144,6 +146,8 @@ var (
 // while the entry is live (the scratch-buffer ownership rules are in
 // DESIGN.md §9). For write entries (no names) a steady-state call does not
 // allocate.
+//
+//linefs:hotpath
 func DecodeEntryInto(e *Entry, buf []byte) (int, error) {
 	if len(buf) < entryHdrSize {
 		return 0, ErrShort
@@ -170,8 +174,10 @@ func DecodeEntryInto(e *Entry, buf []byte) (int, error) {
 		Off:   binary.LittleEndian.Uint64(buf[40:]),
 	}
 	p := entryHdrSize
+	//lint:allow hotalloc names must outlive buf; write entries carry none, so steady state is alloc-free
 	e.Name = string(buf[p : p+nameLen])
 	p += nameLen
+	//lint:allow hotalloc names must outlive buf; write entries carry none, so steady state is alloc-free
 	e.Name2 = string(buf[p : p+name2Len])
 	p += name2Len
 	e.Data = buf[p : p+dataLen : p+dataLen]
@@ -314,6 +320,7 @@ var ErrLogFull = fmt.Errorf("fs: log full")
 // persists the advanced header. It returns the entry's logical offset.
 func (l *LogArea) Append(c *Ctx, e *Entry) (uint64, error) {
 	e.Seq = l.seq
+	l.wireBuf = poisonScratch(l.wireBuf)
 	l.wireBuf = e.AppendWire(l.wireBuf[:0])
 	wire := l.wireBuf
 	if int64(len(wire)) > l.Free() {
@@ -425,6 +432,7 @@ func (l *LogArea) AdvanceHead(c *Ctx, at uint64, n int) error {
 // buffer (see DecodeAll); the buffer lives as long as the entries do.
 func (l *LogArea) DecodeRange(c *Ctx, from, to uint64) ([]*Entry, error) {
 	raw := l.ReadRaw(c, from, int(to-from))
+	//lint:allow borrowcheck the doc contract: entries borrow the returned-alongside raw buffer
 	return DecodeAll(raw)
 }
 
@@ -433,6 +441,7 @@ func (l *LogArea) DecodeRange(c *Ctx, from, to uint64) ([]*Entry, error) {
 // for reuse. The decoded entries borrow that buffer — drop them before
 // passing it back in.
 func (l *LogArea) DecodeRangeScratch(c *Ctx, scratch []byte, from, to uint64) ([]*Entry, []byte, error) {
+	scratch = poisonScratch(scratch)
 	n := int(to - from)
 	if cap(scratch) < n {
 		scratch = make([]byte, n)
@@ -440,6 +449,7 @@ func (l *LogArea) DecodeRangeScratch(c *Ctx, scratch []byte, from, to uint64) ([
 	raw := scratch[:n]
 	l.rawRead(c, from, raw)
 	entries, err := DecodeAll(raw)
+	//lint:allow borrowcheck the doc contract: entries borrow the scratch buffer handed back to the caller
 	return entries, raw, err
 }
 
@@ -457,6 +467,7 @@ func DecodeAll(raw []byte) ([]*Entry, error) {
 		out = append(out, e)
 		off += n
 	}
+	//lint:allow borrowcheck the doc contract: entries borrow raw, which the caller owns
 	return out, nil
 }
 
@@ -466,6 +477,7 @@ func DecodeAll(raw []byte) ([]*Entry, error) {
 // Data are valid only during fn. Digest-style scans use this to walk a log
 // without per-entry allocation.
 func (l *LogArea) VisitRange(c *Ctx, scratch []byte, from, to uint64, fn func(*Entry) error) ([]byte, error) {
+	scratch = poisonScratch(scratch)
 	n := int(to - from)
 	if cap(scratch) < n {
 		scratch = make([]byte, n)

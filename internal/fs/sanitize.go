@@ -1,0 +1,71 @@
+package fs
+
+import "sync/atomic"
+
+// The borrow-sanitizer is the runtime half of the borrow contract
+// (DESIGN.md §10): the static borrowcheck analyzer catches escapes it can
+// see; the sanitizer catches the ones it can't. When enabled, every scratch
+// buffer handed back for reuse is first poisoned — filled to capacity with
+// a rotating fill byte — and then dropped, forcing the next use onto a
+// fresh allocation. A stale Entry.Data still aliasing the old buffer reads
+// 100% poison instead of silently-plausible fresh data, so violations fail
+// loudly in tests instead of corrupting state rarely.
+//
+// The gate defaults off (zero steady-state cost beyond one atomic load per
+// scratch reuse); build with -tags linefs_borrowsan to default it on, or
+// flip it per-test with SetBorrowSanitizer.
+
+// sanitizeOn gates scratch poisoning.
+var sanitizeOn atomic.Bool
+
+// sanitizeGen rotates the poison fill byte so consecutive reuse windows are
+// distinguishable in a hex dump.
+var sanitizeGen atomic.Uint32
+
+// poisonBase is the poison byte for generation 0; generations occupy
+// poisonBase..poisonBase+7.
+const poisonBase = 0xA8
+
+// SetBorrowSanitizer enables or disables scratch poisoning and reports the
+// previous setting. Tests flip it around deliberate borrow-rule probes.
+func SetBorrowSanitizer(on bool) bool { return sanitizeOn.Swap(on) }
+
+// BorrowSanitizerEnabled reports whether scratch poisoning is active.
+// Allocation-count tests skip under the sanitizer: forcing fresh
+// allocations is its entire point.
+func BorrowSanitizerEnabled() bool { return sanitizeOn.Load() }
+
+// poisonScratch prepares a scratch buffer for reuse. Sanitizer off: the
+// buffer passes through untouched (the steady-state path). Sanitizer on:
+// the buffer's full capacity is filled with the current generation's poison
+// byte and nil is returned, so the caller allocates fresh storage and any
+// stale borrow of the old buffer reads pure poison.
+func poisonScratch(buf []byte) []byte {
+	if !sanitizeOn.Load() {
+		return buf
+	}
+	p := poisonByte(sanitizeGen.Add(1))
+	buf = buf[:cap(buf)]
+	for i := range buf {
+		buf[i] = p
+	}
+	return nil
+}
+
+// poisonByte maps a generation to its fill byte.
+func poisonByte(gen uint32) byte { return poisonBase | byte(gen&7) }
+
+// IsPoisoned reports whether b is entirely poison fill — the signature of
+// reading through a stale borrow after the scratch was reused. Empty
+// slices are not poisoned.
+func IsPoisoned(b []byte) bool {
+	if len(b) == 0 {
+		return false
+	}
+	for _, c := range b {
+		if c&^7 != poisonBase {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,120 @@
+package fs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestBorrowSanitizerPoisonsStaleBorrow violates the borrow rule on
+// purpose: it retains entries decoded by DecodeRangeScratch, hands the
+// scratch back in, and checks that the stale Data now reads pure poison —
+// the loud failure the sanitizer buys over silently-plausible stale bytes.
+// Not parallel: the sanitizer gate is process-global.
+func TestBorrowSanitizerPoisonsStaleBorrow(t *testing.T) {
+	prev := SetBorrowSanitizer(true)
+	defer SetBorrowSanitizer(prev)
+
+	l, c := newTestLog(t, 1<<19)
+	payload := bytes.Repeat([]byte{0x5A}, 512)
+	for i := 0; i < 4; i++ {
+		if _, err := l.Append(c, &Entry{Type: OpWrite, Ino: 1, Off: uint64(i) * 512, Data: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	entries, raw, err := l.DecodeRangeScratch(c, nil, l.Tail(), l.Head())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("decoded %d entries, want 4", len(entries))
+	}
+	stale := entries[0].Data
+	if !bytes.Equal(stale, payload) {
+		t.Fatal("borrowed Data wrong before scratch reuse")
+	}
+	if IsPoisoned(stale) {
+		t.Fatal("Data reads as poison before the scratch was reused")
+	}
+
+	// The violation: the entries are still live, but the scratch goes back
+	// in for another decode.
+	if _, _, err := l.DecodeRangeScratch(c, raw, l.Tail(), l.Head()); err != nil {
+		t.Fatal(err)
+	}
+	if !IsPoisoned(stale) {
+		t.Fatalf("stale borrow not poisoned after scratch reuse; Data starts % x", stale[:8])
+	}
+}
+
+// TestBorrowSanitizerVisitRange checks the same violation through
+// VisitRange: an Entry.Data kept past the callback reads poison once the
+// visit scratch is reused.
+func TestBorrowSanitizerVisitRange(t *testing.T) {
+	prev := SetBorrowSanitizer(true)
+	defer SetBorrowSanitizer(prev)
+
+	l, c := newTestLog(t, 1<<19)
+	payload := bytes.Repeat([]byte{0x33}, 256)
+	if _, err := l.Append(c, &Entry{Type: OpWrite, Ino: 7, Off: 0, Data: payload}); err != nil {
+		t.Fatal(err)
+	}
+
+	var leaked []byte
+	scratch, err := l.VisitRange(c, nil, l.Tail(), l.Head(), func(e *Entry) error {
+		leaked = e.Data // deliberate: keeps the borrow past the callback
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(leaked, payload) {
+		t.Fatal("borrowed Data wrong inside the visit window")
+	}
+	if _, err := l.VisitRange(c, scratch, l.Tail(), l.Head(), func(*Entry) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !IsPoisoned(leaked) {
+		t.Fatalf("leaked visit borrow not poisoned; Data starts % x", leaked[:8])
+	}
+}
+
+// TestBorrowSanitizerOffPassthrough pins the default: with the gate off,
+// scratch reuse does not poison and the steady-state buffers pass through.
+func TestBorrowSanitizerOffPassthrough(t *testing.T) {
+	prev := SetBorrowSanitizer(false)
+	defer SetBorrowSanitizer(prev)
+
+	l, c := newTestLog(t, 1<<19)
+	payload := bytes.Repeat([]byte{0x77}, 128)
+	if _, err := l.Append(c, &Entry{Type: OpWrite, Ino: 2, Off: 0, Data: payload}); err != nil {
+		t.Fatal(err)
+	}
+	entries, raw, err := l.DecodeRangeScratch(c, nil, l.Tail(), l.Head())
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := entries[0].Data
+	if _, _, err := l.DecodeRangeScratch(c, raw, l.Tail(), l.Head()); err != nil {
+		t.Fatal(err)
+	}
+	if IsPoisoned(held) {
+		t.Fatal("sanitizer off, but the scratch was poisoned")
+	}
+	if !bytes.Equal(held, payload) {
+		t.Fatal("same-range redecode into the same scratch changed the bytes")
+	}
+}
+
+// TestIsPoisoned pins the poison predicate itself.
+func TestIsPoisoned(t *testing.T) {
+	if IsPoisoned(nil) || IsPoisoned([]byte{}) {
+		t.Error("empty slices must not read as poisoned")
+	}
+	if !IsPoisoned([]byte{0xA8, 0xAF, 0xAB}) {
+		t.Error("bytes in the poison range must read as poisoned")
+	}
+	if IsPoisoned([]byte{0xA8, 0x00, 0xA8}) {
+		t.Error("a single clean byte must defeat the poison signature")
+	}
+}

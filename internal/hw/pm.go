@@ -110,6 +110,8 @@ func (pm *PM) Read(p *sim.Proc, off int64, dst []byte) {
 
 // ReadNoCost copies bytes without charging time (for accessors whose cost
 // is modeled elsewhere, and for test inspection).
+//
+//linefs:hotpath
 func (pm *PM) ReadNoCost(off int64, dst []byte) {
 	pm.check(off, len(dst))
 	copy(dst, pm.shadow[off:])
@@ -136,6 +138,8 @@ func (pm *PM) WriteAmp(p *sim.Proc, off int64, src []byte, amp int) {
 
 // WriteNoCost stores bytes without charging time: one copy into the shadow
 // view plus a span-list update, no allocation (src is not retained).
+//
+//linefs:hotpath
 func (pm *PM) WriteNoCost(off int64, src []byte) {
 	pm.check(off, len(src))
 	copy(pm.shadow[off:], src)
@@ -199,6 +203,8 @@ func (pm *PM) Persist(p *sim.Proc, off, n int64) {
 // PersistNoCost copies the dirty parts of [off, off+n) from the shadow
 // view to durable storage without charging time. Dirty spans straddling
 // the window edge stay volatile outside it.
+//
+//linefs:hotpath
 func (pm *PM) PersistNoCost(off, n int64) {
 	lo, hi := off, off+n
 	kept := pm.spare[:0]

@@ -38,7 +38,7 @@ func RunTest(t *testing.T, testdataDir, pkgPath string, analyzers ...*Analyzer) 
 		wants = append(wants, collectWants(t, pkg, f)...)
 	}
 
-	diags := RunAnalyzers(pkg, analyzers)
+	diags := Unsuppressed(RunAnalyzers(pkg, analyzers))
 	for _, d := range diags {
 		matched := false
 		for _, w := range wants {

@@ -29,7 +29,7 @@ type Analyzer struct {
 
 // All returns every analyzer in the suite, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{NoDeterm, MapOrder, ProcCtx, WireCheck}
+	return []*Analyzer{NoDeterm, MapOrder, ProcCtx, WireCheck, BorrowCheck, ScratchFlow, HotAlloc}
 }
 
 // Pass is the per-(analyzer, package) unit of work.
@@ -40,33 +40,39 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
-	diags  []Diagnostic
-	allows map[int][]allowDirective // file-line -> directives (per file base offset)
-	allow  map[*token.File]map[int][]allowDirective
+	// Dep loads another module-local package (shared fset, memoized), for
+	// analyzers that verify cross-package contracts. May be nil.
+	Dep func(path string) (*Package, error)
+
+	diags []Diagnostic
+	// allow indexes //lint:allow directives by file and line; a directive
+	// suppresses findings on its own line and the line below it.
+	allow map[*token.File]map[int][]allowDirective
 }
 
-// Diagnostic is one finding.
+// Diagnostic is one finding. Suppressed findings (covered by a justified
+// //lint:allow directive) are carried through with Suppressed set so audit
+// tooling (-json) can surface them; default reporting drops them.
 type Diagnostic struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
+	Pos        token.Position
+	Analyzer   string
+	Message    string
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
 }
 
-// Reportf records a finding at pos unless suppressed by a //lint:allow
-// directive on the same line or the line immediately above.
+// Reportf records a finding at pos. A //lint:allow directive on the same
+// line or the line immediately above marks it suppressed instead of
+// dropping it, so suppressions stay auditable.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	position := p.Fset.Position(pos)
-	if p.allowed(pos) {
-		return
-	}
 	p.diags = append(p.diags, Diagnostic{
-		Pos:      position,
-		Analyzer: p.Analyzer.Name,
-		Message:  fmt.Sprintf(format, args...),
+		Pos:        p.Fset.Position(pos),
+		Analyzer:   p.Analyzer.Name,
+		Message:    fmt.Sprintf(format, args...),
+		Suppressed: p.allowed(pos),
 	})
 }
 
@@ -175,7 +181,8 @@ func BadAllows(fset *token.FileSet, files []*ast.File) []Diagnostic {
 }
 
 // RunAnalyzers executes every analyzer over a loaded package and returns the
-// findings sorted by position.
+// findings (suppressed ones included) in a deterministic order: position,
+// then analyzer name, then message.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
 	for _, a := range analyzers {
@@ -185,6 +192,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Dep:      pkg.Dep,
 		}
 		pass.buildAllows()
 		a.Run(pass)
@@ -199,7 +207,57 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return out[i].Analyzer < out[j].Analyzer
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if out[i].Analyzer != out[j].Analyzer {
+			return out[i].Analyzer < out[j].Analyzer
+		}
+		return out[i].Message < out[j].Message
 	})
+	return out
+}
+
+// Unsuppressed filters a diagnostic list down to the findings not covered
+// by a //lint:allow directive — the set that gates CI.
+func Unsuppressed(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Allow is one //lint:allow directive, for suppression audits
+// (`linefs-lint -allows`, `make lint-fix-list`).
+type Allow struct {
+	Pos           token.Position
+	Analyzer      string
+	Justification string
+}
+
+// Allows returns every //lint:allow directive in the files, in source
+// order, including malformed ones (BadAllows reports those as findings).
+func Allows(fset *token.FileSet, files []*ast.File) []Allow {
+	var out []Allow
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "lint:allow") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:allow"))
+				name, justification, _ := strings.Cut(rest, " ")
+				out = append(out, Allow{
+					Pos:           fset.Position(c.Pos()),
+					Analyzer:      name,
+					Justification: trimTrailingComment(justification),
+				})
+			}
+		}
+	}
 	return out
 }

@@ -36,6 +36,46 @@ func TestWireCheck(t *testing.T) {
 	RunTest(t, testdataDir(t), "linefs/internal/wirechecktest", WireCheck)
 }
 
+func TestBorrowCheck(t *testing.T) {
+	t.Parallel()
+	RunTest(t, testdataDir(t), "linefs/internal/borrowchecktest", BorrowCheck)
+}
+
+func TestScratchFlow(t *testing.T) {
+	t.Parallel()
+	RunTest(t, testdataDir(t), "linefs/internal/scratchflowtest", ScratchFlow)
+}
+
+func TestHotAlloc(t *testing.T) {
+	t.Parallel()
+	RunTest(t, testdataDir(t), "linefs/internal/hotalloctest", HotAlloc)
+}
+
+// TestAllowAboveMultilineExpr pins the line-above suppression rule on a
+// multi-line expression: the directive sits on its own line, the flagged
+// call starts on the next line and spans several more. The finding must
+// come back Suppressed rather than dropped or unsuppressed.
+func TestAllowAboveMultilineExpr(t *testing.T) {
+	t.Parallel()
+	loader := NewLoader(testdataDir(t)+"/src/linefs", "linefs")
+	pkg, err := loader.Load("linefs/internal/scratchflowtest")
+	if err != nil {
+		t.Fatalf("loading: %v", err)
+	}
+	var suppressed []Diagnostic
+	for _, d := range RunAnalyzers(pkg, []*Analyzer{ScratchFlow}) {
+		if d.Suppressed {
+			suppressed = append(suppressed, d)
+		}
+	}
+	if len(suppressed) != 1 {
+		t.Fatalf("want exactly 1 suppressed finding (allowedMultiline), got %d: %v", len(suppressed), suppressed)
+	}
+	if got := suppressed[0].Analyzer; got != "scratchflow" {
+		t.Errorf("suppressed finding analyzer = %q, want scratchflow", got)
+	}
+}
+
 // TestNoDetermOutsideDomain verifies that wall-clock use outside the
 // simulation domain (the bench allowlist) is not flagged.
 func TestNoDetermOutsideDomain(t *testing.T) {

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -21,6 +22,19 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	loader *Loader
+}
+
+// Dep loads another module-local package through the loader that produced
+// this one (memoized, shared fset). Analyzers that verify cross-package
+// contracts — hotalloc checking that a callee carries //linefs:hotpath —
+// use this to read the callee's syntax.
+func (p *Package) Dep(path string) (*Package, error) {
+	if p.loader == nil {
+		return nil, fmt.Errorf("lint: package %s has no loader", p.Path)
+	}
+	return p.loader.Load(path)
 }
 
 // Loader parses and type-checks packages. Import paths under Prefix resolve
@@ -103,6 +117,12 @@ func (l *Loader) loadDir(path, dir string) (*Package, error) {
 			strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
 			continue
 		}
+		// Honor build constraints the same way `go build` does, so
+		// `//go:build ignore` generators and tag-gated files (e.g. the
+		// linefs_borrowsan init) don't pollute the type-checked package.
+		if ok, err := build.Default.MatchFile(dir, n); err != nil || !ok {
+			continue
+		}
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -130,7 +150,7 @@ func (l *Loader) loadDir(path, dir string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 	}
-	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info, loader: l}, nil
 }
 
 // Import implements types.Importer.

@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ScratchFlow enforces the scratch half of the memory contract (DESIGN.md
+// §9 rules 2–3, §10): the data-plane ...Into APIs take a scratch buffer and
+// return the (possibly re-grown) buffer; callers that pass an owned buffer
+// must store the result back into the same variable or field, or the grow
+// is lost and the next call re-allocates from the stale, too-small scratch:
+//
+//	s.buf = enc.CompressInto(s.buf[:0], src)     // correct
+//	out := enc.CompressInto(s.buf[:0], src)      // flagged: grow lost
+//
+// Passing nil or a freshly-made buffer is exempt (there is no owned scratch
+// to lose), as is discarding the result with _ when the argument is nil.
+// The store-back may go through an intermediate variable that is itself
+// stored back before the function returns:
+//
+//	entries, raw, err := log.DecodeRangeScratch(ctx, s.rawBuf, from, to)
+//	s.rawBuf = raw                               // accepted
+var ScratchFlow = &Analyzer{
+	Name: "scratchflow",
+	Doc:  "require scratch-taking ...Into calls to store the returned buffer back",
+	Run:  runScratchFlow,
+}
+
+// scratchAPI describes one scratch-taking function: which argument is the
+// scratch buffer and which result returns it.
+type scratchAPI struct {
+	arg, result int
+}
+
+// scratchAPIs maps (package-path suffix → function name → positions).
+// Receiver methods and package functions are both matched by name; the
+// suffix match lets analysistest stubs share the real table.
+var scratchAPIs = map[string]map[string]scratchAPI{
+	"internal/fs": {
+		"AppendWire":         {arg: 0, result: 0},
+		"VisitRange":         {arg: 1, result: 0},
+		"DecodeRangeScratch": {arg: 1, result: 1},
+	},
+	"internal/compress": {
+		"CompressInto":   {arg: 0, result: 0},
+		"DecompressInto": {arg: 0, result: 0},
+	},
+}
+
+func runScratchFlow(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, fb := range funcBodies(f) {
+			checkScratchFlow(pass, fb)
+		}
+	}
+}
+
+// checkScratchFlow scans one function body for scratch-API calls and
+// verifies the store-back discipline.
+func checkScratchFlow(pass *Pass, fb funcBody) {
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		if n != fb.node {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // literals get their own funcBodies pass
+			}
+		}
+		stmt, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+					checkScratchCall(pass, fb, call, s)
+					return true
+				}
+			}
+			for i := range s.Rhs {
+				if call, ok := ast.Unparen(s.Rhs[i]).(*ast.CallExpr); ok {
+					one := &ast.AssignStmt{Lhs: s.Lhs[i : i+1], Tok: s.Tok, Rhs: s.Rhs[i : i+1]}
+					checkScratchCall(pass, fb, call, one)
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+				checkScratchCall(pass, fb, call, nil)
+			}
+		}
+		return true
+	})
+}
+
+// lookupScratchAPI resolves a call to a scratch API, if it is one.
+func lookupScratchAPI(pass *Pass, call *ast.CallExpr) (scratchAPI, string, bool) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return scratchAPI{}, "", false
+	}
+	pkg := funcPkgPath(fn)
+	for suffix, byName := range scratchAPIs {
+		if !strings.HasSuffix(pkg, suffix) {
+			continue
+		}
+		if api, ok := byName[fn.Name()]; ok {
+			return api, fn.Name(), true
+		}
+	}
+	return scratchAPI{}, "", false
+}
+
+// checkScratchCall validates one scratch-API call site. assign is the
+// assignment consuming the call's results, or nil for a bare expression
+// statement.
+func checkScratchCall(pass *Pass, fb funcBody, call *ast.CallExpr, assign *ast.AssignStmt) {
+	info := pass.Info
+	api, name, ok := lookupScratchAPI(pass, call)
+	if !ok || api.arg >= len(call.Args) {
+		return
+	}
+	scratch := call.Args[api.arg]
+
+	// No owned scratch: nil, a fresh make/append/literal, or a call result.
+	if !ownedScratch(pass, scratch) {
+		return
+	}
+	owner := stripSliceParen(scratch)
+
+	if assign == nil {
+		pass.Reportf(call.Pos(),
+			"result of %s discarded; the re-grown scratch buffer is lost — store it back into %s",
+			name, exprDesc(owner))
+		return
+	}
+	if api.result >= len(assign.Lhs) {
+		return
+	}
+	dst := ast.Unparen(assign.Lhs[api.result])
+
+	// Direct store-back: same variable/field chain.
+	if chainEqual(info, dst, owner) {
+		return
+	}
+	// Blank destination loses the grow.
+	if id, ok := dst.(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(call.Pos(),
+			"scratch buffer returned by %s assigned to _; the re-grown buffer is lost — store it back into %s",
+			name, exprDesc(owner))
+		return
+	}
+	// Intermediate variable: accepted if it is later stored back into the
+	// owner chain within this function.
+	if id, ok := dst.(*ast.Ident); ok {
+		if storedBackLater(pass, fb, id, owner, assign) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"scratch buffer returned by %s assigned to %s but never stored back into %s; the grow is lost",
+			name, id.Name, exprDesc(owner))
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"scratch buffer returned by %s stored into %s, not its owner %s; the grow is lost",
+		name, exprDesc(dst), exprDesc(owner))
+}
+
+// ownedScratch reports whether the scratch argument names a buffer the
+// caller owns and will reuse. nil, fresh allocations, and other call
+// results are not owned scratch.
+func ownedScratch(pass *Pass, e ast.Expr) bool {
+	info := pass.Info
+	if isNilExpr(info, e) {
+		return false
+	}
+	// Only variable/field/element chains are owned scratch; make(...),
+	// append(...), composite literals, and other call results are fresh
+	// values with no owner to store back into. A chain like buf[:0] over a
+	// local that was only just made still counts as owned: the analyzer
+	// cannot see lifetimes, and storing back is harmless.
+	switch stripSliceParen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// storedBackLater reports whether intermediate id is assigned into owner
+// somewhere after the originating assignment in the same function body.
+func storedBackLater(pass *Pass, fb funcBody, id *ast.Ident, owner ast.Expr, origin *ast.AssignStmt) bool {
+	info := pass.Info
+	obj := identObj(info, id)
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as == origin || as.Pos() < origin.End() {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) && len(as.Rhs) != 1 {
+				break
+			}
+			if !chainEqual(info, ast.Unparen(lhs), owner) {
+				continue
+			}
+			rhs := as.Rhs[0]
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			}
+			if rid, ok := stripSliceParen(ast.Unparen(rhs)).(*ast.Ident); ok {
+				if identObj(info, rid) == obj {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

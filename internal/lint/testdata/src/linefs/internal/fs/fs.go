@@ -5,11 +5,21 @@ package fs
 // Ctx is the stub access context.
 type Ctx struct{}
 
-// Entry is the stub log entry.
-type Entry struct{}
+// Entry is the stub log entry. Data borrows the decode buffer; Name and
+// Seq are owned.
+type Entry struct {
+	Seq  uint64
+	Name string
+	Data []byte
+}
 
 // Encode serializes the entry.
 func (e *Entry) Encode() []byte { return nil }
+
+// AppendWire serializes the entry onto dst and returns the grown buffer.
+//
+//linefs:hotpath
+func (e *Entry) AppendWire(dst []byte) []byte { return dst }
 
 // LogArea is the stub log ring.
 type LogArea struct{}
@@ -46,6 +56,8 @@ func (l *LogArea) Head() uint64 { return 0 }
 func DecodeEntry(buf []byte) (*Entry, int, error) { return nil, 0, nil }
 
 // DecodeEntryInto parses one entry into e, borrowing from buf.
+//
+//linefs:hotpath
 func DecodeEntryInto(e *Entry, buf []byte) (int, error) { return 0, nil }
 
 // DecodeAll parses concatenated entries.

@@ -8,15 +8,15 @@ import (
 )
 
 func bad() {
-	_ = rand.Intn(10)       // want `global rand\.Intn uses ambient process-wide randomness`
-	_ = rand.Float64()      // want `global rand\.Float64`
-	_ = rand.Int63()        // want `global rand\.Int63`
+	_ = rand.Intn(10)                  // want `global rand\.Intn uses ambient process-wide randomness`
+	_ = rand.Float64()                 // want `global rand\.Float64`
+	_ = rand.Int63()                   // want `global rand\.Int63`
 	rand.Shuffle(3, func(i, j int) {}) // want `global rand\.Shuffle`
-	rand.Seed(1)            // want `global rand\.Seed`
-	t := time.Now()         // want `time\.Now reads the host clock`
-	time.Sleep(time.Millisecond) // want `time\.Sleep reads the host clock`
-	_ = time.Since(t)       // want `time\.Since reads the host clock`
-	_ = time.After(time.Second) // want `time\.After reads the host clock`
+	rand.Seed(1)                       // want `global rand\.Seed`
+	t := time.Now()                    // want `time\.Now reads the host clock`
+	time.Sleep(time.Millisecond)       // want `time\.Sleep reads the host clock`
+	_ = time.Since(t)                  // want `time\.Since reads the host clock`
+	_ = time.After(time.Second)        // want `time\.After reads the host clock`
 }
 
 func good(seed int64) {

@@ -8,12 +8,12 @@ import (
 )
 
 func worker(p *sim.Proc, n int) {
-	go helper()         // want `raw goroutine inside a sim-process callback`
+	go helper()             // want `raw goroutine inside a sim-process callback`
 	ch := make(chan int, n) // want `make of a channel inside a sim-process callback`
-	ch <- 1             // want `channel send inside a sim-process callback`
-	<-ch                // want `channel receive inside a sim-process callback`
-	close(ch)           // want `close of a channel inside a sim-process callback`
-	var mu sync.Mutex   // want `sync\.Mutex inside a sim-process callback`
+	ch <- 1                 // want `channel send inside a sim-process callback`
+	<-ch                    // want `channel receive inside a sim-process callback`
+	close(ch)               // want `close of a channel inside a sim-process callback`
+	var mu sync.Mutex       // want `sync\.Mutex inside a sim-process callback`
 	_ = mu
 }
 

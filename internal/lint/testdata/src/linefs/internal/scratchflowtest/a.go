@@ -1,0 +1,90 @@
+// Package scratchflowtest seeds scratchflow violations: scratch-taking
+// ...Into calls whose re-grown buffer is not stored back.
+package scratchflowtest
+
+import (
+	"linefs/internal/compress"
+	"linefs/internal/fs"
+)
+
+type state struct {
+	buf    []byte
+	rawBuf []byte
+	other  []byte
+}
+
+func good(s *state, enc *compress.Encoder, src []byte) {
+	s.buf = enc.CompressInto(s.buf[:0], src)
+}
+
+func lostToLocal(s *state, enc *compress.Encoder, src []byte) []byte {
+	out := enc.CompressInto(s.buf[:0], src) // want `assigned to out but never stored back into s\.buf`
+	return out
+}
+
+func discarded(s *state, enc *compress.Encoder, src []byte) {
+	enc.CompressInto(s.buf[:0], src) // want `result of CompressInto discarded`
+}
+
+func blanked(s *state, enc *compress.Encoder, src []byte) {
+	_ = enc.CompressInto(s.buf[:0], src) // want `assigned to _; the re-grown buffer is lost`
+}
+
+func wrongOwner(s *state, enc *compress.Encoder, src []byte) {
+	s.other = enc.CompressInto(s.buf[:0], src) // want `stored into s\.other, not its owner s\.buf`
+}
+
+// nil and freshly-made scratch have no owner to store back into.
+func fresh(enc *compress.Encoder, src []byte) []byte {
+	a := enc.CompressInto(nil, src)
+	b := enc.CompressInto(make([]byte, 0, 64), src)
+	return append(a, b...)
+}
+
+// viaLocal stores the scratch back through an intermediate variable, the
+// digest-path idiom.
+func viaLocal(s *state, la *fs.LogArea, ctx *fs.Ctx) ([]*fs.Entry, error) {
+	entries, raw, err := la.DecodeRangeScratch(ctx, s.rawBuf, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	s.rawBuf = raw
+	return entries, nil
+}
+
+func viaLocalLost(s *state, la *fs.LogArea, ctx *fs.Ctx) {
+	entries, raw, err := la.DecodeRangeScratch(ctx, s.rawBuf, 0, 0) // want `assigned to raw but never stored back into s\.rawBuf`
+	_, _, _ = entries, raw, err
+}
+
+func visitGood(s *state, la *fs.LogArea, ctx *fs.Ctx) error {
+	scratch, err := la.VisitRange(ctx, s.buf, 0, 0, nil)
+	s.buf = scratch
+	return err
+}
+
+func visitLost(s *state, la *fs.LogArea, ctx *fs.Ctx) error {
+	_, err := la.VisitRange(ctx, s.buf, 0, 0, nil) // want `scratch buffer returned by VisitRange assigned to _`
+	return err
+}
+
+func appendWireGood(e *fs.Entry, dst []byte) []byte {
+	dst = e.AppendWire(dst)
+	return dst
+}
+
+func appendWireLost(e *fs.Entry, dst []byte) int {
+	out := e.AppendWire(dst) // want `assigned to out but never stored back into dst`
+	return len(out)
+}
+
+// allowedMultiline suppresses a finding on a multi-line call with the
+// directive on the line above the expression.
+func allowedMultiline(s *state, enc *compress.Encoder, src []byte) []byte {
+	//lint:allow scratchflow one-shot shutdown path, losing the grow is fine
+	out := enc.CompressInto(
+		s.buf[:0],
+		src,
+	)
+	return out
+}

@@ -104,6 +104,142 @@ func hasProcParam(sig *types.Signature) bool {
 	return false
 }
 
+// fsPkgSuffix matches the log-codec package (and its analysistest stub).
+const fsPkgSuffix = "internal/fs"
+
+// isEntryType reports whether t is fs.Entry, unwrapping one pointer.
+func isEntryType(t types.Type) bool {
+	path, name := namedFrom(t)
+	return strings.HasSuffix(path, fsPkgSuffix) && name == "Entry"
+}
+
+// isEntrySliceType reports whether t is []*fs.Entry (or []fs.Entry).
+func isEntrySliceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	return isEntryType(s.Elem())
+}
+
+// isByteSlice reports whether t is []byte.
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// stripSliceParen unwraps parens and slice expressions: `(x.buf[:0])`
+// becomes `x.buf`. Index expressions are kept — m[k] names a different
+// element than m.
+func stripSliceParen(e ast.Expr) ast.Expr {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		default:
+			return e
+		}
+	}
+}
+
+// chainEqual reports whether two expressions are the same chain of
+// identifiers, selectors, and (identically-written identifier) indexes —
+// the conservative "same variable or field" test the scratch store-back
+// rule uses. Identifiers compare by resolved object when both resolve.
+func chainEqual(info *types.Info, a, b ast.Expr) bool {
+	a, b = stripSliceParen(a), stripSliceParen(b)
+	switch av := a.(type) {
+	case *ast.Ident:
+		bv, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		ao, bo := identObj(info, av), identObj(info, bv)
+		if ao != nil && bo != nil {
+			return ao == bo
+		}
+		return av.Name == bv.Name
+	case *ast.SelectorExpr:
+		bv, ok := b.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		return av.Sel.Name == bv.Sel.Name && chainEqual(info, av.X, bv.X)
+	case *ast.IndexExpr:
+		bv, ok := b.(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		return chainEqual(info, av.X, bv.X) && chainEqual(info, av.Index, bv.Index)
+	case *ast.StarExpr:
+		bv, ok := b.(*ast.StarExpr)
+		if !ok {
+			return false
+		}
+		return chainEqual(info, av.X, bv.X)
+	}
+	return false
+}
+
+// identObj resolves an identifier to its object (use or def).
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// isNilExpr reports whether e is the predeclared nil.
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	if tv, ok := info.Types[e]; ok {
+		return tv.IsNil()
+	}
+	return false
+}
+
+// exprDesc renders a short description of an expression for diagnostics.
+func exprDesc(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprDesc(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return exprDesc(v.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprDesc(v.X)
+	case *ast.ParenExpr:
+		return exprDesc(v.X)
+	case *ast.SliceExpr:
+		return exprDesc(v.X) + "[...]"
+	case *ast.CallExpr:
+		return exprDesc(v.Fun) + "(...)"
+	}
+	return "expression"
+}
+
+// isBuiltinCall reports whether call invokes the named builtin.
+func isBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
 // enclosingFuncs pairs every function body in a file with its AST node, in
 // source order: declarations and literals both.
 type funcBody struct {
