@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build lint lint-fix-list test-short test race selfcheck test-full bench kernelbench databench databench-smoke clean
+.PHONY: ci vet build lint lint-fix-list test-short test race selfcheck test-full bench kernelbench databench databench-smoke repbench repbench-smoke clean
 
-ci: vet build lint test-short race selfcheck databench-smoke
+ci: vet build lint test-short race selfcheck databench-smoke repbench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -68,6 +68,20 @@ databench:
 # paths run at 0 allocs/op. The report itself goes to a scratch file.
 databench-smoke:
 	$(GO) run ./cmd/linefs-bench -databench -databench-time 25ms -databench-out /tmp/BENCH_dataplane_smoke.json
+
+# Regenerate BENCH_replication.json (seed per-chunk protocol vs batched
+# fast path down the 3-replica chain, plus the pooled-path allocation
+# gate). The chain numbers are simulated time, so they are deterministic;
+# only the allocs/op loop is wall clock.
+repbench:
+	$(GO) build -o linefs-bench ./cmd/linefs-bench
+	./linefs-bench -repbench -repbench-time 2s
+
+# CI smoke: same harness, tiny allocation window. Still asserts the pooled
+# replication hot path runs at 0 allocs/op and that the chain workloads
+# complete; the report goes to a scratch file.
+repbench-smoke:
+	$(GO) run ./cmd/linefs-bench -repbench -repbench-time 25ms -repbench-out /tmp/BENCH_replication_smoke.json
 
 clean:
 	rm -f linefs-bench

@@ -10,6 +10,7 @@
 //	linefs-bench -list                # enumerate experiments
 //	linefs-bench -kernelbench         # DES kernel microbench -> BENCH_kernel.json
 //	linefs-bench -databench           # data-plane microbench -> BENCH_dataplane.json
+//	linefs-bench -repbench            # replication-chain bench -> BENCH_replication.json
 //	linefs-bench -selfcheck           # run each experiment twice, fail on digest divergence
 //
 // Every experiment owns a self-contained sim.Env with a deterministic seed,
@@ -54,6 +55,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dbench = fs.Bool("databench", false, "run data-plane microbenchmarks and write BENCH_dataplane.json")
 		dout   = fs.String("databench-out", "BENCH_dataplane.json", "output path for -databench")
 		dtime  = fs.Duration("databench-time", time.Second, "per-metric measurement window for -databench")
+		rbench = fs.Bool("repbench", false, "run replication-chain benchmarks and write BENCH_replication.json")
+		rout   = fs.String("repbench-out", "BENCH_replication.json", "output path for -repbench")
+		rtime  = fs.Duration("repbench-time", time.Second, "pooled-path allocation measurement window for -repbench")
 		self   = fs.Bool("selfcheck", false, "run each experiment twice and fail on sim-sanitizer digest divergence")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -104,6 +108,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 			rep.Current.PMWriteGBps, rep.Baseline.PMWriteGBps, rep.Speedup.PMWriteGBps)
 		fmt.Fprintf(stdout, "aggregate speedup (lzw+log geomean): %.1fx\n", rep.SpeedupAggregate)
 		fmt.Fprintf(stdout, "wrote %s\n", *dout)
+		return 0
+	}
+
+	if *rbench {
+		rep, err := bench.WriteRepBench(*rout, *rtime)
+		if err != nil {
+			fmt.Fprintf(stderr, "repbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "chain chunks/sec:           %12.0f (baseline %12.0f, %.1fx)\n",
+			rep.Current.ChunksPerSec, rep.Baseline.ChunksPerSec, rep.ChunksPerSecSpeedup)
+		fmt.Fprintf(stdout, "wire messages/chunk:        %12.2f (baseline %12.2f, %.1fx fewer)\n",
+			rep.Current.WireMsgsPerChunk, rep.Baseline.WireMsgsPerChunk, rep.WireMsgReduction)
+		fmt.Fprintf(stdout, "fsync p50 us:               %12.1f (baseline %12.1f)\n",
+			rep.Current.FsyncP50Micros, rep.Baseline.FsyncP50Micros)
+		fmt.Fprintf(stdout, "fsync p99 us:               %12.1f (baseline %12.1f, %.2fx)\n",
+			rep.Current.FsyncP99Micros, rep.Baseline.FsyncP99Micros, rep.FsyncP99Speedup)
+		fmt.Fprintf(stdout, "pooled path allocs/op:      %12.3f\n", rep.PooledAllocsPerOp)
+		fmt.Fprintf(stdout, "wrote %s\n", *rout)
 		return 0
 	}
 

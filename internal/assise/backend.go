@@ -88,8 +88,9 @@ func (b *backend) OpenCheck(p *sim.Proc, pth string) error {
 // ChunkReady implements dfs.Backend. In pessimistic mode replication of the
 // accumulated chunk happens right here, in the calling thread's context —
 // the behaviour that couples Assise's write throughput to client thread
-// count (§5.2.1).
-func (b *backend) ChunkReady(p *sim.Proc, head uint64) {
+// count (§5.2.1). Assise replicates at notification granularity, so the
+// doorbell-coalescing marks are ignored.
+func (b *backend) ChunkReady(p *sim.Proc, head uint64, _ []uint64) {
 	ss := b.ss
 	switch b.cl.Cfg.Mode {
 	case BgRepl:

@@ -76,10 +76,11 @@ func newAttachment(p *sim.Proc, cl *Cluster, machine, slot int) (*Attachment, er
 		Syscall: func(hp *sim.Proc) {
 			m.HostCPU.Compute(hp, cl.Cfg.Spec.SyscallCost, cl.Cfg.DFSPrio, "dfs")
 		},
-		InoBase:   resp.InoBase,
-		InoMax:    resp.InoCount,
-		ChunkSize: cl.Cfg.ChunkSize,
-		LeaseTTL:  cl.Cfg.LeaseTTL,
+		InoBase:      resp.InoBase,
+		InoMax:       resp.InoCount,
+		ChunkSize:    cl.Cfg.ChunkSize,
+		NotifyChunks: cl.Cfg.NotifyChunks,
+		LeaseTTL:     cl.Cfg.LeaseTTL,
 	})
 	b.client = client
 
@@ -136,9 +137,14 @@ func (b *linefsBackend) OpenCheck(p *sim.Proc, pth string) error {
 	return err
 }
 
-// ChunkReady implements dfs.Backend.
-func (b *linefsBackend) ChunkReady(p *sim.Proc, head uint64) {
-	_ = b.bulkConn.Send(p, "chunk-ready", &chunkReady{Slot: b.slot, Head: head}, 24)
+// ChunkReady implements dfs.Backend. The marks slice is reused by the
+// client library, so it is copied into the queued message.
+func (b *linefsBackend) ChunkReady(p *sim.Proc, head uint64, marks []uint64) {
+	msg := &chunkReady{Slot: b.slot, Head: head}
+	if len(marks) > 0 {
+		msg.Marks = append([]uint64(nil), marks...)
+	}
+	_ = b.bulkConn.Send(p, "chunk-ready", msg, 24+8*len(marks))
 }
 
 // Fsync implements dfs.Backend.

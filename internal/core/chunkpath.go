@@ -13,16 +13,20 @@ import (
 )
 
 // chunk is the pipeline unit: a contiguous, entry-aligned range of one
-// client's log (§3.1 "LineFS chunk").
+// client's log (§3.1 "LineFS chunk"). Chunks recycle through a per-client
+// freelist once fully published and replicated: the raw, compression, and
+// touched buffers keep their capacity across reuse so the steady-state hot
+// path allocates nothing.
 type chunk struct {
 	cs       *clientState
 	from, to uint64
 	firstSeq uint64
 
-	raw        []byte
+	raw        []byte // pooled: grown once, reused across chunks
+	cbuf       []byte // pooled compression output buffer
 	entries    []*fs.Entry
-	touched    []touched
-	payload    []byte // raw or LZW-compressed, for the wire
+	touched    []touched // pooled
+	payload    []byte    // raw or cbuf, for the wire
 	compressed bool
 
 	memHeld int64
@@ -32,19 +36,15 @@ type chunk struct {
 	sync    bool
 	started bool
 
-	// prev is the previous chunk in formation order; transfers serialize
-	// on prev.sent so replicas receive contiguous log ranges.
-	prev *chunk
-
 	sent       *sim.Event
 	published  *sim.Event
 	replicated *sim.Event
-	acks       int
 	valid      bool
-	dropped    int64 // bytes removed by coalescing
+	// retained marks buffers possibly still referenced by a timed-out
+	// kernel-worker copy; such a chunk is leaked instead of recycled.
+	retained bool
+	dropped  int64 // bytes removed by coalescing
 }
-
-// Dropped counts bytes removed by coalescing across all chunks.
 
 // clientState is the primary-side NICFS state for one LibFS client.
 type clientState struct {
@@ -61,9 +61,6 @@ type clientState struct {
 	repOff  uint64
 	ackSent uint64
 
-	// lastFormed chains chunks in formation order.
-	lastFormed *chunk
-
 	// pending holds incomplete chunks in order, drained by the completion
 	// process for reclaim.
 	pending  []*chunk
@@ -72,6 +69,29 @@ type clientState struct {
 	// pubBuf reorders chunks arriving at the publish stage (the fsync path
 	// can inject chunks around the async pipeline).
 	pubBuf map[uint64]*chunk
+
+	// The sender serializes chain transfers: stages enqueue finished chunks
+	// on xferQ in any order, xferBuf reorders them by log offset, and the
+	// sendNext cursor walks them contiguously, coalescing backlog into
+	// replChunkBatch messages (bounded by RepBatchChunks/RepBatchBytes).
+	xferQ      *sim.Queue[*chunk]
+	xferBuf    map[uint64]*chunk
+	sendNext   uint64
+	batch      []*chunk
+	batchBytes int
+
+	// Chain geometry is static per slot; cache it so the ack path does not
+	// allocate. ackWater[i] is the cumulative watermark acknowledged by
+	// chain position i (replicas only, position 0 is this primary);
+	// repPending is the ordered deque of sent-but-unreplicated chunks the
+	// watermark advances over.
+	chain      []int
+	chainNames []string
+	ackWater   []uint64
+	repPending []*chunk
+
+	// freeCk is the chunk freelist fed by runCompletion.
+	freeCk []*chunk
 
 	// repWait tracks procs waiting for replication to reach an offset.
 	repWait []repWaiter
@@ -111,14 +131,24 @@ func newClientState(n *NICFS, slot int, id string, la *fs.LogArea) *clientState 
 		log:      la,
 		compKick: sim.NewEvent(n.cl.Env),
 		pubBuf:   make(map[uint64]*chunk),
+		xferQ:    sim.NewQueue[*chunk](n.cl.Env, 0),
+		xferBuf:  make(map[uint64]*chunk),
 	}
+	cs.chain = n.cl.chain(n.machine)
+	cs.chainNames = make([]string, len(cs.chain))
+	for i, mi := range cs.chain {
+		cs.chainNames[i] = n.cl.Machines[mi].Name
+	}
+	cs.ackWater = make([]uint64, len(cs.chain))
 	env := n.cl.Env
 	cfg := n.cl.Cfg
 	if cfg.Parallel {
 		// The ingress queue must never block the NICFS bulk workers (they
 		// also drain replication acks); backpressure comes from the NICMem
-		// flow-control watermarks in the fetch stage (§4).
-		plCfg := pipeline.Config{QueueCap: 1 << 20, ScaleThreshold: 5, MonitorInterval: 200 * time.Microsecond, ThreadBudget: 2 * cfg.Spec.NICCores}
+		// flow-control watermarks in the fetch stage (§4). Worker growth
+		// draws from the NICFS-wide budget shared across every client's
+		// pipelines (the SmartNIC's cores are one pool).
+		plCfg := pipeline.Config{QueueCap: 1 << 20, ScaleThreshold: 5, Budget: n.plBudget}
 		cs.mainPl = pipeline.New(env, id+"/main", plCfg,
 			pipeline.Stage[*chunk]{Name: "fetch", MinWorkers: 1, MaxWorkers: 2, Work: cs.stageFetch},
 			pipeline.Stage[*chunk]{Name: "validate", MinWorkers: 1, MaxWorkers: 4, Work: cs.stageValidate},
@@ -130,7 +160,7 @@ func newClientState(n *NICFS, slot int, id string, la *fs.LogArea) *clientState 
 				Name: "compress", MinWorkers: 1, MaxWorkers: cfg.Spec.NICCores, Work: cs.stageCompress,
 			})
 		}
-		repStages = append(repStages, pipeline.Stage[*chunk]{Name: "transfer", InOrder: true, Work: cs.stageTransfer})
+		repStages = append(repStages, pipeline.Stage[*chunk]{Name: "transfer", Work: cs.stageTransfer})
 		cs.repPl = pipeline.New(env, id+"/rep", plCfg, repStages...)
 		cs.pubPl = pipeline.New(env, id+"/pub", plCfg,
 			pipeline.Stage[*chunk]{Name: "publish", InOrder: true, Work: cs.stagePublish},
@@ -139,6 +169,7 @@ func newClientState(n *NICFS, slot int, id string, la *fs.LogArea) *clientState 
 		cs.seqQ = sim.NewQueue[*chunk](env, 0)
 		cs.procs = append(cs.procs, env.Go(id+"/seq", cs.runSequential))
 	}
+	cs.procs = append(cs.procs, env.Go(id+"/sender", cs.runSender))
 	cs.procs = append(cs.procs, env.Go(id+"/completion", cs.runCompletion))
 	return cs
 }
@@ -152,6 +183,7 @@ func (cs *clientState) kill() {
 	if cs.seqQ != nil {
 		cs.seqQ.Close()
 	}
+	cs.xferQ.Close()
 	for _, p := range cs.procs {
 		p.Kill()
 	}
@@ -169,6 +201,61 @@ func (cs *clientState) notifyClient(p *sim.Proc, op string, arg any, size int) {
 
 func clientService(slot int) string { return fmt.Sprintf("client%d", slot) }
 
+// getChunk pops a recycled chunk (or makes one) and resets it for the
+// range [from, to). Completion events are fresh per use: old waiters hold
+// the previous incarnation's events, which stay triggered.
+func (cs *clientState) getChunk(from, to uint64, sync bool) *chunk {
+	var ck *chunk
+	if k := len(cs.freeCk); k > 0 {
+		ck = cs.freeCk[k-1]
+		cs.freeCk[k-1] = nil
+		cs.freeCk = cs.freeCk[:k-1]
+	} else {
+		ck = &chunk{}
+	}
+	env := cs.n.cl.Env
+	ck.cs = cs
+	ck.from, ck.to = from, to
+	ck.firstSeq = 0
+	ck.raw = ck.raw[:0]
+	ck.entries = nil
+	ck.touched = ck.touched[:0]
+	ck.payload = nil
+	ck.compressed = false
+	ck.memHeld = 0
+	ck.sync = sync
+	ck.started = false
+	ck.sent = sim.NewEvent(env)
+	ck.published = sim.NewEvent(env)
+	ck.replicated = sim.NewEvent(env)
+	ck.valid = false
+	ck.retained = false
+	ck.dropped = 0
+	return ck
+}
+
+// putChunk returns a completed chunk to the freelist. Entries borrow raw,
+// so they are dropped here — the buffers themselves keep their capacity.
+func (cs *clientState) putChunk(ck *chunk) {
+	if ck.retained || len(cs.freeCk) >= 64 {
+		return
+	}
+	ck.entries = nil
+	ck.payload = nil
+	cs.freeCk = append(cs.freeCk, ck)
+}
+
+// growBuf returns a length-n buffer, reusing b's backing array when it is
+// large enough.
+//
+//linefs:hotpath
+func growBuf(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
 // formChunks turns the log range [queued, head) into chunks and submits
 // them to the pipelines. Formation is atomic in simulation (no blocking
 // between reading and advancing queued), so the fsync path and the async
@@ -181,18 +268,8 @@ func (cs *clientState) formChunks(p *sim.Proc, head uint64, sync bool) *chunk {
 		// [queued, head) is normally a single chunk; fsync may cover
 		// several notifications' worth, which is fine — the range is
 		// entry-aligned at both ends.
-		ck := &chunk{
-			cs:         cs,
-			from:       cs.queued,
-			to:         to,
-			sync:       sync,
-			prev:       cs.lastFormed,
-			sent:       sim.NewEvent(cs.n.cl.Env),
-			published:  sim.NewEvent(cs.n.cl.Env),
-			replicated: sim.NewEvent(cs.n.cl.Env),
-		}
+		ck := cs.getChunk(cs.queued, to, sync)
 		cs.queued = to
-		cs.lastFormed = ck
 		cs.pending = append(cs.pending, ck)
 		cs.compKick.Trigger(nil)
 		cs.compKick = sim.NewEvent(cs.n.cl.Env)
@@ -222,7 +299,8 @@ func (cs *clientState) stageFetch(p *sim.Proc, ck *chunk) bool {
 	// One-sided read through the NIC switch: the NIC's read engine is the
 	// bottleneck; PM reads and the NIC DRAM placement stream behind it.
 	m.Fetch.Transfer(p, int(size), 0)
-	ck.raw = cs.log.ReadRaw(fs.NoCostCtx(m.PM), ck.from, int(size))
+	ck.raw = growBuf(ck.raw, int(size))
+	cs.log.ReadRawInto(fs.NoCostCtx(m.PM), ck.from, ck.raw)
 	n.StageTimes["fetch"].add(time.Duration(p.Now() - start))
 	return true
 }
@@ -280,14 +358,17 @@ func (cs *clientState) stageValidate(p *sim.Proc, ck *chunk) bool {
 	ck.dropped = dropped
 	n.CoalescedBytes += dropped
 	ck.valid = true
-	ck.touched = touchedOf(kept)
-	n.history[n.epoch] = append(n.history[n.epoch], ck.touched...)
+	ck.touched = appendTouched(ck.touched[:0], kept)
+	n.recordHistory(n.epoch, ck.touched)
 	n.StageTimes["validate"].add(time.Duration(p.Now() - start))
 	return true
 }
 
-func touchedOf(entries []*fs.Entry) []touched {
-	var out []touched
+// appendTouched appends one namespace-history record per entry to dst,
+// reusing dst's capacity (the chunk's pooled touched slice).
+//
+//linefs:hotpath
+func appendTouched(dst []touched, entries []*fs.Entry) []touched {
 	for _, e := range entries {
 		switch e.Type {
 		case fs.OpCreate, fs.OpMkdir:
@@ -295,16 +376,16 @@ func touchedOf(entries []*fs.Entry) []touched {
 			if e.Type == fs.OpMkdir {
 				typ = fs.TypeDir
 			}
-			out = append(out, touched{Ino: e.Ino, PIno: e.PIno, Name: e.Name, Type: typ})
+			dst = append(dst, touched{Ino: e.Ino, PIno: e.PIno, Name: e.Name, Type: typ})
 		case fs.OpUnlink, fs.OpRmdir:
-			out = append(out, touched{Ino: e.Ino, PIno: e.PIno, Name: e.Name, Gone: true})
+			dst = append(dst, touched{Ino: e.Ino, PIno: e.PIno, Name: e.Name, Gone: true})
 		case fs.OpRename:
-			out = append(out, touched{Ino: e.Ino, PIno: e.PIno2, Name: e.Name2})
+			dst = append(dst, touched{Ino: e.Ino, PIno: e.PIno2, Name: e.Name2})
 		case fs.OpWrite, fs.OpTruncate:
-			out = append(out, touched{Ino: e.Ino})
+			dst = append(dst, touched{Ino: e.Ino})
 		}
 	}
-	return out
+	return dst
 }
 
 // stageSplit hands the validated chunk to both the publishing and the
@@ -321,24 +402,23 @@ func (cs *clientState) stageSplit(p *sim.Proc, ck *chunk) bool {
 func (cs *clientState) stageCompress(p *sim.Proc, ck *chunk) bool {
 	n := cs.n
 	spec := n.cl.Cfg.Spec
-	comp := compressChunk(&cs.enc, ck.raw)
+	ck.cbuf = compressChunk(&cs.enc, ck.cbuf, ck.raw)
 	n.nicCompute(p, time.Duration(float64(len(ck.raw))/spec.CompressBW*float64(time.Second)))
-	if len(comp) < len(ck.raw) {
-		ck.payload = comp
+	if len(ck.cbuf) < len(ck.raw) {
+		ck.payload = ck.cbuf
 		ck.compressed = true
 	}
 	return true
 }
 
-// compressChunk LZW-compresses raw into a chunk-owned buffer: ck.payload
-// is retained through replication, so the output cannot share a scratch —
-// only the encoder dictionary is reusable across chunks. Pure codec work;
-// the caller charges the virtual-time cost.
+// compressChunk LZW-compresses raw into the chunk's pooled compression
+// buffer: the output is retained through replication, so it cannot share a
+// scratch across chunks — each chunk owns one, reused across its pool
+// incarnations. Pure codec work; the caller charges the virtual-time cost.
 //
 //linefs:hotpath
-func compressChunk(enc *compress.Encoder, raw []byte) []byte {
-	//lint:allow hotalloc the chunk owns its payload; the reusable part is the encoder dictionary
-	return enc.CompressInto(make([]byte, 0, len(raw)/2+16), raw)
+func compressChunk(enc *compress.Encoder, dst, raw []byte) []byte {
+	return enc.CompressInto(dst[:0], raw)
 }
 
 // stagePublish applies chunks to the public area in log order, buffering
@@ -397,131 +477,227 @@ func (cs *clientState) publishChunk(p *sim.Proc, ck *chunk) {
 		return
 	}
 	copyStart := p.Now()
-	n.publishItems(p, items)
+	if n.publishItems(p, items) {
+		// The timed-out kernel worker may still read these item buffers,
+		// which alias ck.raw: leak the chunk instead of recycling it.
+		ck.retained = true
+	}
 	n.stageAdd("pub-copy", time.Duration(p.Now()-copyStart))
 }
 
-// publishItems moves payload bytes to public PM via the kernel worker, or
-// directly over PCIe when the host is down. A kernel worker that dies
-// mid-copy is retried through the PCIe path — publication is idempotent.
-func (n *NICFS) publishItems(p *sim.Proc, items []copyItem) {
-	if !n.Isolated {
-		_, err, replied := n.kwConn.CallTimeout(p, "copy", &copyReq{Items: items},
-			64*len(items), 50*time.Millisecond)
-		if replied && err == nil {
-			return
-		}
-		n.Isolated = true
-	}
-	// Isolated operation: NICFS writes across PCIe itself.
-	m := n.cl.Machines[n.machine]
-	for _, it := range items {
-		m.PCIe.Transfer(p, len(it.Data), 0)
-		m.PM.WritePersist(p, it.Dst, it.Data)
-	}
-}
-
-// stageTransfer ships the chunk down the replication chain in log order.
+// stageTransfer hands the chunk to the sender, which restores log order and
+// batches the chain transfer.
 func (cs *clientState) stageTransfer(p *sim.Proc, ck *chunk) bool {
-	cs.transferChunk(p, ck)
+	cs.xferQ.Put(p, ck)
 	return false
 }
 
-func (cs *clientState) transferChunk(p *sim.Proc, ck *chunk) {
+// runSender is the per-client chain transmit loop: it drains every chunk
+// already queued (so a backlog coalesces), reorders by log offset, and
+// pumps contiguous chunks onto the wire in batches.
+func (cs *clientState) runSender(p *sim.Proc) {
+	for {
+		ck, ok := cs.xferQ.Get(p)
+		if !ok {
+			return
+		}
+		cs.xferBuf[ck.from] = ck
+		for {
+			more, ok := cs.xferQ.TryGet()
+			if !ok {
+				break
+			}
+			cs.xferBuf[more.from] = more
+		}
+		cs.pumpSends(p)
+	}
+}
+
+// pumpSends walks the send cursor over contiguous queued chunks, coalescing
+// them into batches (doorbell batching: one wire message per backlog burst,
+// bounded by RepBatchChunks/RepBatchBytes). Sync chunks flush immediately;
+// the trailing partial batch flushes when the backlog runs dry, so batching
+// never adds latency — it only amortizes per-message overhead a backlog
+// would pay anyway. Invalid chunks and replica-less configurations pass
+// through without a wire message, keeping the cursor contiguous.
+func (cs *clientState) pumpSends(p *sim.Proc) {
+	cfg := cs.n.cl.Cfg
+	maxChunks := cfg.RepBatchChunks
+	if maxChunks < 1 {
+		maxChunks = 1
+	}
+	maxBytes := cfg.RepBatchBytes
+	for {
+		ck, ok := cs.xferBuf[cs.sendNext]
+		if !ok {
+			cs.flushBatch(p)
+			return
+		}
+		delete(cs.xferBuf, cs.sendNext)
+		cs.sendNext = ck.to
+		if !ck.valid || len(cs.chain) == 1 {
+			// Flush first so chain order is preserved, then complete the
+			// chunk locally: it never goes on the wire.
+			cs.flushBatch(p)
+			ck.sent.Trigger(nil)
+			cs.advanceRep(p, ck)
+			continue
+		}
+		cs.batch = append(cs.batch, ck)
+		cs.batchBytes += len(payloadOf(ck))
+		if ck.sync || len(cs.batch) >= maxChunks || (maxBytes > 0 && cs.batchBytes >= maxBytes) {
+			cs.flushBatch(p)
+		}
+	}
+}
+
+func payloadOf(ck *chunk) []byte {
+	if ck.payload != nil {
+		return ck.payload
+	}
+	return ck.raw
+}
+
+// flushBatch ships the open batch down the chain as one wire message. A
+// batch of one keeps the replChunk framing (identical wire semantics; it is
+// also the seed per-chunk baseline the repbench compares against).
+func (cs *clientState) flushBatch(p *sim.Proc) {
+	if len(cs.batch) == 0 {
+		return
+	}
 	n := cs.n
 	start := p.Now()
-	if ck.prev != nil && !ck.prev.sent.Triggered() {
-		p.Wait(ck.prev.sent)
+	sync := false
+	wire := 0
+	for _, ck := range cs.batch {
+		if ck.sync {
+			sync = true
+		}
+		pl := payloadOf(ck)
+		wire += len(pl)
+		n.RepBytes += int64(len(ck.raw))
+		n.RepWireBytes += int64(len(pl))
 	}
-	if !ck.valid {
+	conn := n.peer(cs.chain[1], sync)
+	var err error
+	if len(cs.batch) == 1 {
+		ck := cs.batch[0]
+		err = conn.Send(p, "repl-chunk", &replChunk{
+			Slot: cs.slot, From: ck.from, To: ck.to, FirstSeq: ck.firstSeq,
+			Payload: payloadOf(ck), Compressed: ck.compressed, RawLen: len(ck.raw),
+			Touched: ck.touched, Epoch: n.epoch, Sync: ck.sync,
+		}, wire)
+	} else {
+		first, last := cs.batch[0], cs.batch[len(cs.batch)-1]
+		msg := &replChunkBatch{
+			Slot: cs.slot, Epoch: n.epoch, From: first.from, To: last.to,
+			Sync: sync, Chunks: make([]batchChunk, len(cs.batch)),
+		}
+		for i, ck := range cs.batch {
+			msg.Chunks[i] = batchChunk{
+				From: ck.from, To: ck.to, FirstSeq: ck.firstSeq,
+				Payload: payloadOf(ck), Compressed: ck.compressed,
+				RawLen: len(ck.raw), Touched: ck.touched, Sync: ck.sync,
+			}
+		}
+		err = conn.Send(p, "repl-chunk-batch", msg, wire)
+	}
+	n.RepMsgs++
+	n.RepChunksSent += int64(len(cs.batch))
+	for _, ck := range cs.batch {
 		ck.sent.Trigger(nil)
-		cs.advanceRep(p, ck)
-		return
+		cs.repPending = append(cs.repPending, ck)
 	}
-	chain := n.cl.chain(cs.primaryMachine())
-	if len(chain) == 1 {
-		// No replicas configured.
-		ck.sent.Trigger(nil)
-		cs.advanceRep(p, ck)
-		return
-	}
-	payload := ck.payload
-	if payload == nil {
-		payload = ck.raw
-	}
-	msg := &replChunk{
-		Slot:       cs.slot,
-		From:       ck.from,
-		To:         ck.to,
-		FirstSeq:   ck.firstSeq,
-		Payload:    payload,
-		Compressed: ck.compressed,
-		RawLen:     len(ck.raw),
-		Touched:    ck.touched,
-		Epoch:      n.epoch,
-		Sync:       ck.sync,
-	}
-	n.RepBytes += int64(len(ck.raw))
-	n.RepWireBytes += int64(len(payload))
-	conn := n.peer(chain[1], ck.sync)
-	err := conn.Send(p, "repl-chunk", msg, len(payload))
-	ck.sent.Trigger(nil)
 	if err != nil {
-		// Next hop unreachable: account the chunk as replicated so the
+		// Next hop unreachable: account the chunks as replicated so the
 		// client is not blocked forever (degraded durability, as when a
 		// chain is cut; the cluster manager repairs membership).
-		cs.advanceRep(p, ck)
+		for _, ck := range cs.batch {
+			cs.advanceRep(p, ck)
+		}
 	}
+	for i := range cs.batch {
+		cs.batch[i] = nil
+	}
+	cs.batch = cs.batch[:0]
+	cs.batchBytes = 0
 	n.StageTimes["transfer"].add(time.Duration(p.Now() - start))
 }
 
-// ackChunk processes a replica's acknowledgment.
+// ackChunk processes a replica's cumulative acknowledgment: advance that
+// replica's watermark and complete every pending chunk covered by the
+// minimum watermark across live replicas. An ack that names an unknown node
+// or does not advance its watermark is stale (e.g. a late duplicate after a
+// membership resweep) and is counted, not applied.
 func (cs *clientState) ackChunk(p *sim.Proc, ack *replAck) {
-	for _, ck := range cs.pending {
-		if ck.to == ack.To && !ck.replicated.Triggered() {
-			ck.acks++
-			if ck.acks >= cs.requiredAcks() {
-				cs.advanceRep(p, ck)
-			}
+	pos := -1
+	for i := 1; i < len(cs.chainNames); i++ {
+		if cs.chainNames[i] == ack.Node {
+			pos = i
 			break
 		}
 	}
+	if pos < 0 || ack.To <= cs.ackWater[pos] {
+		cs.n.StaleAcks++
+		return
+	}
+	cs.ackWater[pos] = ack.To
+	cs.advanceAcked(p)
 }
 
-// requiredAcks counts the replicas the cluster manager currently believes
-// alive: a failed NICFS must not block durability acknowledgments (the
-// manager has already reconfigured leases and membership around it).
-func (cs *clientState) requiredAcks() int {
+// aliveWater returns the minimum acknowledged watermark across replicas the
+// cluster manager currently believes alive (a failed NICFS must not block
+// durability acknowledgments — the manager has already reconfigured leases
+// and membership around it); any=false means no replica is alive.
+func (cs *clientState) aliveWater() (water uint64, any bool) {
 	cl := cs.n.cl
-	alive := 0
-	for _, mi := range cl.chain(cs.primaryMachine())[1:] {
-		if cl.Mgr.Alive(cl.Machines[mi].Name) {
-			alive++
+	water = ^uint64(0)
+	for i := 1; i < len(cs.chain); i++ {
+		if !cl.Mgr.Alive(cs.chainNames[i]) {
+			continue
+		}
+		any = true
+		if cs.ackWater[i] < water {
+			water = cs.ackWater[i]
 		}
 	}
-	return alive
+	return water, any
+}
+
+// advanceAcked completes pending chunks from the front of the deque up to
+// the minimum live-replica watermark: O(1) per completed chunk, no scan of
+// the un-acked tail.
+func (cs *clientState) advanceAcked(p *sim.Proc) {
+	water, any := cs.aliveWater()
+	for len(cs.repPending) > 0 {
+		ck := cs.repPending[0]
+		if !ck.replicated.Triggered() {
+			if any && ck.to > water {
+				return
+			}
+			cs.advanceRep(p, ck)
+		}
+		cs.repPending[0] = nil
+		cs.repPending = cs.repPending[1:]
+	}
 }
 
 // resweepAcks re-evaluates pending chunks after a membership change.
 func (cs *clientState) resweepAcks(p *sim.Proc) {
-	need := cs.requiredAcks()
-	for _, ck := range cs.pending {
-		if !ck.replicated.Triggered() && ck.sent.Triggered() && ck.acks >= need {
-			cs.advanceRep(p, ck)
-		}
-	}
+	cs.advanceAcked(p)
 }
 
-// failChunk rejects a chunk: the fault is recorded for the client and all
-// waiters are released so nothing wedges behind an unpublishable chunk.
+// failChunk rejects a chunk: the fault is recorded for the client and the
+// chunk is routed through the sender so the send cursor stays contiguous
+// (it left the pipeline at validation and would otherwise wedge every later
+// chunk behind the gap).
 func (cs *clientState) failChunk(p *sim.Proc, ck *chunk, err error) {
 	ck.valid = false
 	if cs.fault == nil {
 		cs.fault = err
 	}
 	ck.published.Trigger(nil)
-	ck.sent.Trigger(nil)
-	cs.advanceRep(p, ck)
+	cs.xferQ.Put(p, ck)
 }
 
 // advanceRep marks a chunk fully replicated and wakes fsync waiters.
@@ -554,7 +730,8 @@ func (cs *clientState) waitReplicated(p *sim.Proc, off uint64) {
 func (cs *clientState) primaryMachine() int { return cs.n.machine }
 
 // runCompletion reclaims client log space once chunks are both published
-// and replicated, in order, and returns chunk buffers to SmartNIC memory.
+// and replicated, in order, and recycles chunk buffers to the freelist
+// (waiting for sent too: a chunk must have left the sender before reuse).
 func (cs *clientState) runCompletion(p *sim.Proc) {
 	for {
 		for len(cs.pending) == 0 {
@@ -565,15 +742,15 @@ func (cs *clientState) runCompletion(p *sim.Proc) {
 		p.Wait(ck.published)
 		t1 := p.Now()
 		p.Wait(ck.replicated)
+		p.Wait(ck.sent)
 		cs.n.stageAdd("wait-pub", time.Duration(t1-t0))
 		cs.n.stageAdd("wait-rep", time.Duration(p.Now()-t1))
+		cs.pending[0] = nil
 		cs.pending = cs.pending[1:]
 		if ck.memHeld > 0 {
 			cs.n.memRelease(ck.memHeld)
 			ck.memHeld = 0
 		}
-		ck.raw = nil
-		ck.payload = nil
 		if ck.valid && ck.to > cs.ackSent {
 			cs.ackSent = ck.to
 			// The SmartNIC-to-host acknowledgment is Figure 2's ACK stage.
@@ -581,6 +758,7 @@ func (cs *clientState) runCompletion(p *sim.Proc) {
 			cs.notifyClient(p, "reclaim", &reclaimMsg{Slot: cs.slot, UpTo: ck.to}, 24)
 			cs.n.StageTimes["ack"].add(time.Duration(p.Now() - ackStart))
 		}
+		cs.putChunk(ck)
 	}
 }
 
@@ -599,7 +777,7 @@ func (cs *clientState) runSequential(p *sim.Proc) {
 				cs.stageCompress(p, ck)
 			}
 			cs.stagePublish(p, ck)
-			cs.transferChunk(p, ck)
+			cs.xferQ.Put(p, ck)
 			cs.waitReplicated(p, ck.to)
 		}
 	}
@@ -616,8 +794,9 @@ func (n *NICFS) handleFsync(p *sim.Proc, msg *rdma.Msg, req *fsyncReq) {
 	}
 	if req.Head > cs.queued {
 		cs.formChunks(p, req.Head, true)
-		// The sync path runs fetch and validation inline and transfers on
-		// the low-latency connection, bypassing pipeline queues.
+		// The sync path runs fetch and validation inline and hands the
+		// chunk to the sender marked sync, which flushes immediately on the
+		// low-latency connection, bypassing pipeline queues.
 		for _, ck := range cs.pending {
 			if !ck.sync || ck.started {
 				continue
@@ -629,7 +808,7 @@ func (n *NICFS) handleFsync(p *sim.Proc, msg *rdma.Msg, req *fsyncReq) {
 					cs.stageCompress(p, ck)
 				}
 				cs.stagePublish(p, ck)
-				cs.transferChunk(p, ck)
+				cs.xferQ.Put(p, ck)
 			}
 		}
 	}

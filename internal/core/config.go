@@ -87,6 +87,22 @@ type Config struct {
 	// Compress enables the replication compression stage.
 	Compress bool
 
+	// RepBatchChunks caps how many queued chunks coalesce into one
+	// replChunkBatch wire message per replica hop (1 disables batching and
+	// restores the per-chunk replChunk path); RepBatchBytes caps the batch
+	// payload size (<= 0 means unbounded). Fsync-path chunks always flush
+	// the open batch immediately.
+	RepBatchChunks int
+	RepBatchBytes  int
+
+	// NotifyChunks is the submission-side doorbell coalescing degree: the
+	// LibFS client accumulates this many entry-aligned chunk boundaries
+	// before ringing one chunk-ready doorbell carrying all of them, so a
+	// single NICFS dispatch forms that many chunks. Values <= 1 ring per
+	// chunk boundary (the seed behavior). Deferral is bounded: fsync
+	// flushes pending boundaries onto the doorbell first.
+	NotifyChunks int
+
 	// DisableCoalesce turns off the semantic-compression stage (ablation).
 	DisableCoalesce bool
 	// DisableDirectWrite turns off the §3.3.2 last-hop one-sided write
@@ -132,6 +148,9 @@ func DefaultConfig() Config {
 		ChunkSize:         4 << 20,
 		Parallel:          true,
 		Compress:          false,
+		RepBatchChunks:    16,
+		RepBatchBytes:     1 << 20,
+		NotifyChunks:      1,
 		PubMode:           PubDMAIntrBatch,
 		HighWatermark:     0.7,
 		LowWatermark:      0.3,

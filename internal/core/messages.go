@@ -47,6 +47,10 @@ type leaseResp struct {
 type chunkReady struct {
 	Slot int
 	Head uint64
+	// Marks are entry-aligned intermediate chunk boundaries (< Head): one
+	// coalesced doorbell submits Marks plus the final [last mark, Head)
+	// range as separate chunks under a single dispatch.
+	Marks []uint64
 }
 
 // fsyncReq asks NICFS to make everything up to Head durable on all
@@ -80,6 +84,34 @@ type replChunk struct {
 	Sync bool
 }
 
+// batchChunk is one chunk's framing inside a replChunkBatch: the same
+// fields replChunk carries, minus the batch-level ones (Slot, Epoch).
+type batchChunk struct {
+	From, To   uint64
+	FirstSeq   uint64
+	Payload    []byte
+	Compressed bool
+	RawLen     int
+	Touched    []touched
+	Sync       bool
+}
+
+// replChunkBatch coalesces contiguous chunks of one slot into a single wire
+// message per replica hop (doorbell batching): one message header, one
+// switch traversal, and one RPC dispatch amortize over every chunk, and the
+// receiver persists and acknowledges the whole batch at once. Chunks are
+// ordered and contiguous: Chunks[0].From == From, each frame starts where
+// the previous ended, and the last ends at To.
+type replChunkBatch struct {
+	Slot     int
+	Epoch    uint64
+	From, To uint64
+	// Sync is set when any member chunk is fsync-path (the batch then rides
+	// the low-latency class).
+	Sync   bool
+	Chunks []batchChunk
+}
+
 // replDirect notifies the last replica that chunk bytes were already
 // RDMA-written into its host PM log slot (the §3.3.2 step-6 optimization).
 type replDirect struct {
@@ -91,7 +123,10 @@ type replDirect struct {
 	Epoch    uint64
 }
 
-// replAck reports that node Node persisted the chunk ending at To.
+// replAck reports that node Node has persisted every chunk through To: a
+// cumulative watermark, not a per-chunk receipt. One ack per batch advances
+// the primary's per-replica watermark; anything at or below it is already
+// covered, so a regressing or duplicate ack is stale by definition.
 type replAck struct {
 	Slot int
 	To   uint64

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -37,14 +38,40 @@ type mirrorState struct {
 	// the first arriving chunk's offset instead of expecting offset zero.
 	fresh bool
 
-	// dec is the decompression dictionary, reused across chunks (the
-	// decompressed bytes themselves are chunk-owned: they ride pubQ).
+	// dec is the decompression dictionary, reused across chunks.
 	dec compress.Decoder
+
+	// bufs is the mirror's raw-buffer freelist: incoming payloads are
+	// always copied (or decompressed) into a mirror-owned buffer, never
+	// aliased — the primary recycles its chunk buffers as soon as the chain
+	// acks, which can be before this replica's background publication runs.
+	bufs [][]byte
 }
 
 type pubJob struct {
 	raw      []byte
 	from, to uint64
+	// noPool marks a buffer a timed-out kernel-worker copy may still read;
+	// it is leaked instead of recycled.
+	noPool bool
+}
+
+// getBuf pops a pooled length-n buffer (or makes one).
+func (ms *mirrorState) getBuf(n int) []byte {
+	if k := len(ms.bufs); k > 0 {
+		b := ms.bufs[k-1]
+		ms.bufs[k-1] = nil
+		ms.bufs = ms.bufs[:k-1]
+		return growBuf(b, n)
+	}
+	return make([]byte, n)
+}
+
+func (ms *mirrorState) putBuf(b []byte) {
+	if cap(b) == 0 || len(ms.bufs) >= 16 {
+		return
+	}
+	ms.bufs = append(ms.bufs, b[:0])
 }
 
 // routeMirror dispatches replication traffic to the slot's mirror process,
@@ -53,6 +80,8 @@ func (n *NICFS) routeMirror(p *sim.Proc, msg *rdma.Msg) {
 	var slot int
 	switch arg := msg.Arg.(type) {
 	case *replChunk:
+		slot = arg.Slot
+	case *replChunkBatch:
 		slot = arg.Slot
 	case *replDirect:
 		slot = arg.Slot
@@ -117,14 +146,18 @@ func (ms *mirrorState) kill() {
 }
 
 // runPublisher applies replicated chunks to the replica's public area in
-// the background (Figure 3 keeps publication off the chain critical path).
+// the background (Figure 3 keeps publication off the chain critical path)
+// and recycles their buffers.
 func (ms *mirrorState) runPublisher(p *sim.Proc) {
 	for {
 		job, ok := ms.pubQ.Get(p)
 		if !ok {
 			return
 		}
-		ms.publishLocal(p, job.raw, job.from, job.to)
+		retained := ms.publishLocal(p, job.raw, job.from, job.to)
+		if !job.noPool && !retained {
+			ms.putBuf(job.raw)
+		}
 	}
 }
 
@@ -143,6 +176,8 @@ func (ms *mirrorState) run(p *sim.Proc) {
 		var from uint64
 		switch arg := msg.Arg.(type) {
 		case *replChunk:
+			from = arg.From
+		case *replChunkBatch:
 			from = arg.From
 		case *replDirect:
 			from = arg.From
@@ -170,6 +205,8 @@ func (ms *mirrorState) run(p *sim.Proc) {
 			switch arg := next.Arg.(type) {
 			case *replChunk:
 				ms.handleChunk(p, arg)
+			case *replChunkBatch:
+				ms.handleBatch(p, arg)
 			case *replDirect:
 				ms.handleDirect(p, arg)
 			}
@@ -177,14 +214,53 @@ func (ms *mirrorState) run(p *sim.Proc) {
 	}
 }
 
-// decompressPayload expands a compressed chunk into a fresh mirror-owned
-// buffer sized from the declared raw length. Pure codec work; the caller
-// charges the virtual-time cost.
+// errBatchFrame rejects a replication frame whose decoded length does not
+// match its declared raw length.
+var errBatchFrame = errors.New("core: replication frame length mismatch")
+
+// decompressPayload expands a compressed chunk payload into dst (a pooled
+// mirror buffer) and verifies the declared raw length. Pure codec work;
+// the caller charges the virtual-time cost.
 //
 //linefs:hotpath
-func decompressPayload(dec *compress.Decoder, payload []byte, rawLen int) ([]byte, error) {
-	//lint:allow hotalloc the mirror retains the expanded payload; the reusable part is the decoder dictionary
-	return dec.DecompressInto(make([]byte, 0, rawLen), payload)
+func decompressPayload(dec *compress.Decoder, dst, payload []byte, rawLen int) ([]byte, error) {
+	//lint:allow scratchflow the grown buffer is returned to the caller, which stores it back
+	out, err := dec.DecompressInto(dst[:0], payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) != rawLen {
+		return nil, errBatchFrame
+	}
+	return out, nil
+}
+
+// decodeBatchChunk places one batch frame's raw bytes into dst, which the
+// caller sizes (and capacity-pins) to the declared raw length: a corrupt
+// compressed frame cannot scribble outside its slot of the batch buffer.
+//
+//linefs:hotpath
+func decodeBatchChunk(dec *compress.Decoder, dst []byte, bc *batchChunk) error {
+	if bc.Compressed {
+		// dst's capacity is pinned to RawLen, so a decode that tries to grow
+		// past it reallocs away from the batch buffer — and can only do so by
+		// exceeding RawLen, which the length check below rejects. A correct
+		// decode lands fully inside dst; the grow (if any) is a failure path.
+		//lint:allow scratchflow over-long decode reallocs only on the rejected path
+		out, err := dec.DecompressInto(dst[:0], bc.Payload)
+		if err != nil {
+			return err
+		}
+		if len(out) != bc.RawLen {
+			return errBatchFrame
+		}
+		return nil
+	}
+	if len(bc.Payload) != bc.RawLen {
+		return errBatchFrame
+	}
+	copy(dst, bc.Payload)
+	return nil
 }
 
 // handleChunk is steps 4–7 of Figure 3: forward to the next hop (in
@@ -194,60 +270,141 @@ func (ms *mirrorState) handleChunk(p *sim.Proc, rc *replChunk) {
 	n := ms.n
 	cl := n.cl
 
-	raw := rc.Payload
+	raw := ms.getBuf(rc.RawLen)
 	if rc.Compressed {
 		// Decompression on the wimpy cores (reads are cheaper than the
 		// compression side; charge at 2x the compression bandwidth).
-		var err error
-		raw, err = decompressPayload(&ms.dec, rc.Payload, rc.RawLen)
+		out, err := decompressPayload(&ms.dec, raw, rc.Payload, rc.RawLen)
 		if err != nil {
+			ms.putBuf(raw)
 			return // corrupt transfer: never acknowledged
 		}
+		raw = out
 		n.nicCompute(p, time.Duration(float64(rc.RawLen)/(2*cl.Cfg.Spec.CompressBW)*float64(time.Second)))
-	}
-	if len(raw) != rc.RawLen {
-		return
+	} else {
+		if len(rc.Payload) != rc.RawLen {
+			ms.putBuf(raw)
+			return
+		}
+		copy(raw, rc.Payload)
 	}
 
 	// Merge namespace history for epoch recovery.
-	n.history[rc.Epoch] = append(n.history[rc.Epoch], rc.Touched...)
+	n.recordHistory(rc.Epoch, rc.Touched)
 
 	// Forward down the chain asynchronously: the next hop's work overlaps
 	// both our local persist and later chunks' forwards (steps 4 and 5 of
 	// Figure 3 pipeline across chunks). Ordering needs no serialization —
 	// one-sided writes are offset-addressed and every mirror reorders
-	// message arrivals by log offset. Compressed chunks stay compressed on
-	// the wire for every hop (the bandwidth saving is the point), which
-	// forgoes the last-hop direct write: raw bytes cannot be placed
-	// one-sided without a decompression stop at the last NICFS.
+	// message arrivals by log offset. The forward carries the message's
+	// original payload (primary-owned until the whole chain acks, so safe
+	// down-chain — unlike our pooled copy); compressed chunks stay
+	// compressed on the wire for every hop (the bandwidth saving is the
+	// point), which forgoes the last-hop direct write: raw bytes cannot be
+	// placed one-sided without a decompression stop at the last NICFS.
 	if ms.chainPos != len(ms.chain)-1 {
 		next := ms.chain[ms.chainPos+1]
 		nextIsLast := ms.chainPos+1 == len(ms.chain)-1 && !cl.Cfg.DisableDirectWrite && !rc.Compressed
-		rcCopy := *rc
-		if !rc.Compressed {
-			rcCopy.Payload = raw
-		}
 		cl.Env.Go(n.Name()+"/fwd", func(fp *sim.Proc) {
 			if nextIsLast {
-				ms.forwardDirect(fp, next, &rcCopy)
+				ms.forwardDirect(fp, next, rc)
 			} else {
-				_ = n.peer(next, rc.Sync).Send(fp, "repl-chunk", &rcCopy, len(rcCopy.Payload))
+				n.RepMsgs++
+				_ = n.peer(next, rc.Sync).Send(fp, "repl-chunk", rc, len(rc.Payload))
 			}
 		})
 	}
 
 	// Persist the chunk into the local PM log mirror.
-	ms.persistRaw(p, rc.From, raw)
+	retained := ms.persistRaw(p, rc.From, raw)
 
-	// Acknowledge the primary: the chunk is durable here. Acks are
-	// latency-critical and ride the low-latency class (§3.3.2).
+	// Acknowledge the primary: everything through To is durable here. Acks
+	// are latency-critical and ride the low-latency class (§3.3.2).
 	primary := ms.chain[0]
 	_ = n.peer(primary, true).Send(p, "repl-ack",
 		&replAck{Slot: rc.Slot, To: rc.To, Node: n.Name()}, 24)
 
 	// Publish locally in the background so the replica's public area keeps
 	// up and the mirror ring can be reclaimed.
-	ms.pubQ.Put(p, pubJob{raw: raw, from: rc.From, to: rc.To})
+	ms.pubQ.Put(p, pubJob{raw: raw, from: rc.From, to: rc.To, noPool: retained})
+}
+
+// handleBatch persists a whole replChunkBatch with one pass: every frame
+// decodes into one contiguous mirror buffer, one persist covers the batch
+// range, one cumulative ack reports To, and one background publication job
+// applies all entries.
+func (ms *mirrorState) handleBatch(p *sim.Proc, rb *replChunkBatch) {
+	n := ms.n
+	cl := n.cl
+	if len(rb.Chunks) == 0 || uint64(batchRawLen(rb)) != rb.To-rb.From {
+		return
+	}
+	raw := ms.getBuf(int(rb.To - rb.From))
+	off := 0
+	at := rb.From
+	allRaw := true
+	for i := range rb.Chunks {
+		bc := &rb.Chunks[i]
+		if bc.From != at || uint64(bc.RawLen) != bc.To-bc.From {
+			ms.putBuf(raw)
+			return // malformed framing: never acknowledged
+		}
+		if err := decodeBatchChunk(&ms.dec, raw[off:off+bc.RawLen:off+bc.RawLen], bc); err != nil {
+			ms.putBuf(raw)
+			return // corrupt transfer: never acknowledged
+		}
+		if bc.Compressed {
+			allRaw = false
+			n.nicCompute(p, time.Duration(float64(bc.RawLen)/(2*cl.Cfg.Spec.CompressBW)*float64(time.Second)))
+		}
+		off += bc.RawLen
+		at = bc.To
+	}
+
+	for i := range rb.Chunks {
+		n.recordHistory(rb.Epoch, rb.Chunks[i].Touched)
+	}
+
+	// Forward the whole batch down-chain as one message (or one-sided
+	// writes plus one note on the last hop), carrying the original
+	// primary-owned payloads.
+	if ms.chainPos != len(ms.chain)-1 {
+		next := ms.chain[ms.chainPos+1]
+		nextIsLast := ms.chainPos+1 == len(ms.chain)-1 && !cl.Cfg.DisableDirectWrite && allRaw
+		cl.Env.Go(n.Name()+"/fwd", func(fp *sim.Proc) {
+			if nextIsLast {
+				ms.forwardBatchDirect(fp, next, rb)
+			} else {
+				n.RepMsgs++
+				_ = n.peer(next, rb.Sync).Send(fp, "repl-chunk-batch", rb, batchWireLen(rb))
+			}
+		})
+	}
+
+	retained := ms.persistRaw(p, rb.From, raw)
+
+	// One cumulative acknowledgment covers every chunk in the batch.
+	primary := ms.chain[0]
+	_ = n.peer(primary, true).Send(p, "repl-ack",
+		&replAck{Slot: rb.Slot, To: rb.To, Node: n.Name()}, 24)
+
+	ms.pubQ.Put(p, pubJob{raw: raw, from: rb.From, to: rb.To, noPool: retained})
+}
+
+func batchRawLen(rb *replChunkBatch) int {
+	total := 0
+	for i := range rb.Chunks {
+		total += rb.Chunks[i].RawLen
+	}
+	return total
+}
+
+func batchWireLen(rb *replChunkBatch) int {
+	total := 0
+	for i := range rb.Chunks {
+		total += len(rb.Chunks[i].Payload)
+	}
+	return total
 }
 
 // forwardDirect implements the §3.3.2 step-6 optimization: the penultimate
@@ -263,6 +420,7 @@ func (ms *mirrorState) forwardDirect(p *sim.Proc, next int, rc *replChunk) {
 	for _, seg := range lastLog.SegmentsAt(rc.From, len(rc.Payload)) {
 		if err := conn.RDMAWrite(p, "pm", seg.PhysOff, rc.Payload[off:off+seg.Len]); err != nil {
 			// Fall back to the message path.
+			n.RepMsgs++
 			_ = conn.Send(p, "repl-chunk", rc, len(rc.Payload))
 			return
 		}
@@ -274,16 +432,51 @@ func (ms *mirrorState) forwardDirect(p *sim.Proc, next int, rc *replChunk) {
 	}
 	// The notification follows the one-sided data on the low-latency
 	// class: it must not queue behind other bulk transfers.
+	n.RepMsgs++
 	_ = n.peer(next, true).Send(p, "repl-direct", note, 64)
 }
 
-// handleDirect is the last replica's handling of a direct-written chunk:
-// the bytes are already in its PM log; advance the mirror head, ack, and
-// publish.
+// forwardBatchDirect is the batch form of the last-hop optimization: every
+// chunk's payload is RDMA-written into the last replica's PM log, then one
+// notification covers the whole batch range.
+func (ms *mirrorState) forwardBatchDirect(p *sim.Proc, next int, rb *replChunkBatch) {
+	n := ms.n
+	cl := n.cl
+	lastLog := fs.NewLogView(cl.logBase(rb.Slot), cl.Cfg.LogSize)
+	conn := n.peer(next, rb.Sync)
+	for i := range rb.Chunks {
+		bc := &rb.Chunks[i]
+		off := 0
+		for _, seg := range lastLog.SegmentsAt(bc.From, len(bc.Payload)) {
+			if err := conn.RDMAWrite(p, "pm", seg.PhysOff, bc.Payload[off:off+seg.Len]); err != nil {
+				// Fall back to the message path; the last replica persists
+				// the full batch from scratch (its head never advanced).
+				n.RepMsgs++
+				_ = conn.Send(p, "repl-chunk-batch", rb, batchWireLen(rb))
+				return
+			}
+			off += seg.Len
+		}
+	}
+	var touchedAll []touched
+	for i := range rb.Chunks {
+		touchedAll = append(touchedAll, rb.Chunks[i].Touched...)
+	}
+	note := &replDirect{
+		Slot: rb.Slot, From: rb.From, To: rb.To, FirstSeq: rb.Chunks[0].FirstSeq,
+		RawLen: int(rb.To - rb.From), Touched: touchedAll, Epoch: rb.Epoch,
+	}
+	n.RepMsgs++
+	_ = n.peer(next, true).Send(p, "repl-direct", note, 64)
+}
+
+// handleDirect is the last replica's handling of a direct-written chunk or
+// batch: the bytes are already in its PM log; advance the mirror head, send
+// the cumulative ack, and publish.
 func (ms *mirrorState) handleDirect(p *sim.Proc, rd *replDirect) {
 	n := ms.n
 	cl := n.cl
-	n.history[rd.Epoch] = append(n.history[rd.Epoch], rd.Touched...)
+	n.recordHistory(rd.Epoch, rd.Touched)
 	ctx := cl.nicCtx(p, n.machine, "nicfs")
 	size := int(rd.To - rd.From)
 	if err := ms.log.AdvanceHead(ctx, rd.From, size); err != nil {
@@ -294,17 +487,19 @@ func (ms *mirrorState) handleDirect(p *sim.Proc, rd *replDirect) {
 		&replAck{Slot: rd.Slot, To: rd.To, Node: n.Name()}, 24)
 
 	// Publication needs the entries: fetch them from our own host PM log
-	// across PCIe.
+	// across PCIe into a pooled buffer.
 	m := cl.Machines[n.machine]
 	fctx := &fs.Ctx{P: p, PM: m.PM, ExtraRead: []*hw.Link{m.Fetch}}
-	raw := ms.log.ReadRaw(fctx, rd.From, size)
+	raw := ms.getBuf(size)
+	ms.log.ReadRawInto(fctx, rd.From, raw)
 	ms.pubQ.Put(p, pubJob{raw: raw, from: rd.From, to: rd.To})
 }
 
 // persistRaw copies chunk bytes from SmartNIC memory into the local host
 // PM log mirror: via the kernel worker's DMA engine normally, or across
-// PCIe directly in isolated mode (the Figure 10 failure path).
-func (ms *mirrorState) persistRaw(p *sim.Proc, at uint64, raw []byte) {
+// PCIe directly in isolated mode (the Figure 10 failure path). Returns
+// true when a timed-out kernel worker may still hold the raw buffer.
+func (ms *mirrorState) persistRaw(p *sim.Proc, at uint64, raw []byte) bool {
 	n := ms.n
 	segs := ms.log.Segments(at, len(raw))
 	var items []copyItem
@@ -313,7 +508,7 @@ func (ms *mirrorState) persistRaw(p *sim.Proc, at uint64, raw []byte) {
 		items = append(items, copyItem{Dst: seg.PhysOff, Data: raw[off : off+seg.Len]})
 		off += seg.Len
 	}
-	n.publishItems(p, items)
+	retained := n.publishItems(p, items)
 	// Advance and persist the mirror header (small PCIe write). A gap here
 	// means chunk arrival order diverged from log order — a chain-protocol
 	// bug that must not be papered over by silently skipping the advance.
@@ -321,29 +516,33 @@ func (ms *mirrorState) persistRaw(p *sim.Proc, at uint64, raw []byte) {
 	if err := ms.log.AdvanceHead(ctx, at, len(raw)); err != nil {
 		panic(fmt.Sprintf("core: mirror advance: %v", err))
 	}
+	return retained
 }
 
-// publishLocal applies a replicated chunk to this replica's public area
-// and reclaims the mirror ring.
-func (ms *mirrorState) publishLocal(p *sim.Proc, raw []byte, from, to uint64) {
+// publishLocal applies a replicated chunk (or batch) to this replica's
+// public area and reclaims the mirror ring. Returns true when a timed-out
+// kernel worker may still hold the raw buffer.
+func (ms *mirrorState) publishLocal(p *sim.Proc, raw []byte, from, to uint64) bool {
 	n := ms.n
 	if from != ms.pubNext && ms.pubNext != 0 {
 		// Gap (shouldn't happen: arrival order is log order); skip rather
 		// than corrupt.
-		return
+		return false
 	}
 	entries, err := fs.DecodeAll(raw)
 	if err != nil {
-		return
+		return false
 	}
 	n.nicCompute(p, validateCost(len(raw), n.cl.Cfg.Spec.ValidatePerMiB))
 	ctx := n.cl.nicCtx(p, n.machine, "nicfs")
 	var items []copyItem
 	cp := func(dst int64, src []byte) { items = append(items, copyItem{Dst: dst, Data: src}) }
+	retained := false
 	if err := n.vol.ApplyAll(ctx, entries, cp); err == nil {
-		n.publishItems(p, items)
+		retained = n.publishItems(p, items)
 		n.PubBytes += int64(len(raw))
 	}
 	ms.pubNext = to
 	ms.log.Reclaim(ctx, to)
+	return retained
 }

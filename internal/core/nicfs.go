@@ -7,6 +7,7 @@ import (
 
 	"linefs/internal/fs"
 	"linefs/internal/lease"
+	"linefs/internal/pipeline"
 	"linefs/internal/rdma"
 	"linefs/internal/sim"
 )
@@ -46,6 +47,13 @@ type NICFS struct {
 
 	epoch   uint64
 	history map[uint64][]touched
+	// histSeen dedups pure data-write records per epoch so history stays
+	// bounded by the touched working set, not the write count.
+	histSeen map[uint64]map[touched]struct{}
+
+	// plBudget caps pipeline worker growth across every client's pipelines:
+	// the SmartNIC's wimpy cores are one shared pool.
+	plBudget *pipeline.Budget
 
 	// Lease persistence/replication runs asynchronously; fsync waits for
 	// the pending count to drain (§3.4).
@@ -65,7 +73,16 @@ type NICFS struct {
 	RepBytes       int64
 	RepWireBytes   int64
 	CoalescedBytes int64
-	StageTimes     map[string]*timeAvg
+	// RepMsgs counts replication data messages sent by this node (chunk,
+	// batch, and direct-write notes); RepChunksSent counts chunks entering
+	// the chain here as primary; AckMsgs counts ack messages received;
+	// StaleAcks counts acks that named an unknown slot or node or did not
+	// advance a watermark.
+	RepMsgs       int64
+	RepChunksSent int64
+	AckMsgs       int64
+	StaleAcks     int64
+	StageTimes    map[string]*timeAvg
 }
 
 // timeAvg accumulates a mean duration.
@@ -107,6 +124,8 @@ func newNICFS(cl *Cluster, machine int) *NICFS {
 		peerBulk: make(map[int]*rdma.Conn),
 		peerLow:  make(map[int]*rdma.Conn),
 		history:  make(map[uint64][]touched),
+		histSeen: make(map[uint64]map[touched]struct{}),
+		plBudget: pipeline.NewBudget(2 * cl.Cfg.Spec.NICCores),
 		StageTimes: map[string]*timeAvg{
 			"fetch": {}, "validate": {}, "publish": {}, "transfer": {}, "ack": {},
 		},
@@ -128,6 +147,7 @@ func (n *NICFS) Probe(p *sim.Proc) bool { return !n.down }
 // EpochChanged implements cluster.Member: persist the new epoch to PM.
 func (n *NICFS) EpochChanged(p *sim.Proc, epoch uint64) {
 	n.epoch = epoch
+	n.pruneHistory()
 	// Persist the epoch number (a small PM write across PCIe).
 	m := n.cl.Machines[n.machine]
 	buf := []byte{byte(epoch), byte(epoch >> 8), byte(epoch >> 16), byte(epoch >> 24), 0, 0, 0, 0}
@@ -237,7 +257,7 @@ func (n *NICFS) runLowLat(p *sim.Proc) {
 			n.cl.Env.Go(n.Name()+"/fsync", func(hp *sim.Proc) {
 				n.handleFsync(hp, msg, req)
 			})
-		case "repl-chunk", "repl-direct":
+		case "repl-chunk", "repl-chunk-batch", "repl-direct":
 			// Sync-path replication arrives on the low-latency class.
 			n.routeMirror(p, msg)
 		case "repl-ack":
@@ -262,9 +282,15 @@ func (n *NICFS) runBulk(p *sim.Proc) {
 		case "chunk-ready":
 			req := msg.Arg.(*chunkReady)
 			if cs := n.clients[req.Slot]; cs != nil {
+				// One coalesced doorbell submits every marked chunk plus
+				// the final range under a single dispatch charge; stale
+				// boundaries (<= queued) are no-ops inside formChunks.
+				for _, m := range req.Marks {
+					cs.formChunks(p, m, false)
+				}
 				cs.formChunks(p, req.Head, false)
 			}
-		case "repl-chunk", "repl-direct":
+		case "repl-chunk", "repl-chunk-batch", "repl-direct":
 			n.routeMirror(p, msg)
 		case "repl-ack":
 			n.handleReplAck(p, msg.Arg.(*replAck))
@@ -417,13 +443,96 @@ func (n *NICFS) runDetector(p *sim.Proc) {
 	}
 }
 
-// handleReplAck advances a chunk's ack count on the primary.
+// handleReplAck advances a replica's cumulative watermark on the primary.
 func (n *NICFS) handleReplAck(p *sim.Proc, ack *replAck) {
+	n.AckMsgs++
 	cs := n.clients[ack.Slot]
 	if cs == nil {
+		n.StaleAcks++
 		return
 	}
 	cs.ackChunk(p, ack)
+}
+
+// recordHistory merges namespace-history records into the epoch's list.
+// Pure data-write records (no name, not a deletion) are idempotent for
+// recovery — one per (epoch, inode) suffices — so they dedup through
+// histSeen and the list is bounded by the touched working set. Namespace
+// records keep their order and multiplicity: recovery resolves an inode by
+// its newest record, so a create after an unlink must stay behind it.
+func (n *NICFS) recordHistory(epoch uint64, ts []touched) {
+	if len(ts) == 0 {
+		return
+	}
+	seen := n.histSeen[epoch]
+	if seen == nil {
+		seen = make(map[touched]struct{})
+		n.histSeen[epoch] = seen
+	}
+	h := n.history[epoch]
+	for _, t := range ts {
+		if t.Name == "" && !t.Gone {
+			if _, dup := seen[t]; dup {
+				continue
+			}
+			seen[t] = struct{}{}
+		}
+		h = append(h, t)
+	}
+	n.history[epoch] = h
+}
+
+// pruneHistory drops epochs no recovering peer can still ask for. A node
+// that persisted epoch E re-requests history from E on recovery (crash-to-
+// detection writes land in E), and a crash during the epoch bump can leave
+// a peer one more epoch behind — so the two previous epochs are retained
+// and older ones reclaimed, but only while every machine is alive: a down
+// peer's recovery point is unknown until it returns.
+func (n *NICFS) pruneHistory() {
+	for _, m := range n.cl.Machines {
+		if !n.cl.Mgr.Alive(m.Name) {
+			return
+		}
+	}
+	if n.epoch < 3 {
+		return
+	}
+	var old []uint64
+	for e := range n.history {
+		if e < n.epoch-2 {
+			old = append(old, e)
+		}
+	}
+	sort.Slice(old, func(i, j int) bool { return old[i] < old[j] })
+	for _, e := range old {
+		delete(n.history, e)
+		delete(n.histSeen, e)
+	}
+}
+
+// publishItems moves payload bytes to public PM via the kernel worker, or
+// directly over PCIe when the host is down. A kernel worker that dies
+// mid-copy is retried through the PCIe path — publication is idempotent.
+// Returns true when a timed-out kernel worker may still read the item
+// buffers: the caller must not recycle them.
+func (n *NICFS) publishItems(p *sim.Proc, items []copyItem) bool {
+	retained := false
+	if !n.Isolated {
+		_, err, replied := n.kwConn.CallTimeout(p, "copy", &copyReq{Items: items},
+			64*len(items), 50*time.Millisecond)
+		if replied && err == nil {
+			return false
+		}
+		retained = !replied
+		n.Isolated = true
+	}
+	// Isolated operation: NICFS writes across PCIe itself.
+	m := n.cl.Machines[n.machine]
+	for _, it := range items {
+		m.PCIe.Transfer(p, len(it.Data), 0)
+		m.PM.WritePersist(p, it.Dst, it.Data)
+	}
+	return retained
 }
 
 // Crash takes the NICFS down (SmartNIC failure injection for tests).

@@ -86,10 +86,15 @@ func (n *NICFS) handleFetchFile(p *sim.Proc, msg *rdma.Msg) {
 func (n *NICFS) Recover(p *sim.Proc, peerMachine int) error {
 	m := n.cl.Machines[n.machine]
 
-	// Re-register services and restart processes. Dead mirrors are
-	// dropped: fresh ones adopt the live stream position on first contact
-	// and the state they held is re-fetched below.
+	// Re-register services and restart processes. The service queues were
+	// closed by Crash and a closed queue drops every Put, so fresh ones
+	// must back the re-registered services — peers' cached connections
+	// resolve the service by name on every send and pick them up. Dead
+	// mirrors are dropped: fresh ones adopt the live stream position on
+	// first contact and the state they held is re-fetched below.
 	n.down = false
+	n.lowQ = sim.NewQueue[*rdma.Msg](n.cl.Env, 0)
+	n.bulkQ = sim.NewQueue[*rdma.Msg](n.cl.Env, 0)
 	n.mirrors = make(map[int]*mirrorState)
 	n.Start()
 
@@ -99,8 +104,18 @@ func (n *NICFS) Recover(p *sim.Proc, peerMachine int) error {
 	m.PM.Read(p, epochPMOff, buf)
 	persisted := uint64(buf[0]) | uint64(buf[1])<<8 | uint64(buf[2])<<16 | uint64(buf[3])<<24
 
+	// Ask from one epoch before the persisted one: the bump for this node's
+	// own failure reaches its PM before recovery runs, but chunks that were
+	// acked yet still unpublished at crash time were recorded by the
+	// survivors under the pre-crash epoch. History pruning retains two
+	// previous epochs for exactly this window.
+	since := persisted
+	if since > 0 {
+		since--
+	}
+
 	peer := n.peer(peerMachine, false)
-	v, err := peer.Call(p, "history", &historyReq{Since: persisted}, 16)
+	v, err := peer.Call(p, "history", &historyReq{Since: since}, 16)
 	if err != nil {
 		return err
 	}

@@ -29,7 +29,13 @@ type Backend interface {
 	// OpenCheck performs the permission check for opening a published file.
 	OpenCheck(p *sim.Proc, pth string) error
 	// ChunkReady notifies that the log has grown to head (asynchronous).
-	ChunkReady(p *sim.Proc, head uint64)
+	// marks are entry-aligned intermediate chunk boundaries accumulated
+	// since the previous notification (oldest first, all < head): one
+	// coalesced doorbell submits several chunks, amortizing the backend's
+	// per-notification dispatch cost. Backends that replicate at
+	// notification granularity may ignore marks. The slice is reused by
+	// the caller: a backend that retains it past the call must copy.
+	ChunkReady(p *sim.Proc, head uint64, marks []uint64)
 	// Fsync makes everything up to head durable per the system's
 	// guarantees (replicated on all chain members) before returning.
 	Fsync(p *sim.Proc, head uint64) error
@@ -47,7 +53,12 @@ type Config struct {
 	InoMax  int
 	// ChunkSize paces ChunkReady notifications.
 	ChunkSize int
-	LeaseTTL  time.Duration
+	// NotifyChunks is the submission-side doorbell coalescing degree: the
+	// client accumulates this many entry-aligned chunk boundaries before
+	// ringing one ChunkReady doorbell carrying all of them. Values <= 1
+	// ring per chunk boundary (the uncoalesced path).
+	NotifyChunks int
+	LeaseTTL     time.Duration
 }
 
 // Client is one application process's file system handle.
@@ -75,8 +86,10 @@ type Client struct {
 	leases map[fs.Ino]leaseInfo
 
 	// sinceNotify counts log bytes appended since the last chunk-ready
-	// notification.
+	// boundary; marks holds the entry-aligned chunk boundaries accumulated
+	// since the last doorbell (doorbell coalescing, see Config.NotifyChunks).
 	sinceNotify int64
+	marks       []uint64
 
 	spaceFreed *sim.Event
 
@@ -254,7 +267,11 @@ func (l *Client) append(p *sim.Proc, e *fs.Entry) (uint64, error) {
 		if err == nil {
 			l.sinceNotify += int64(e.WireSize())
 			if l.sinceNotify >= int64(l.cfg.ChunkSize) {
-				l.notifyChunkReady(p)
+				l.sinceNotify = 0
+				l.marks = append(l.marks, l.log.Head())
+				if len(l.marks) >= l.notifyChunks() {
+					l.notifyChunkReady(p)
+				}
 			}
 			return at, nil
 		}
@@ -267,10 +284,26 @@ func (l *Client) append(p *sim.Proc, e *fs.Entry) (uint64, error) {
 	}
 }
 
-// notifyChunkReady tells the backend the log grew to the current head.
+// notifyChunkReady rings the doorbell: it tells the backend the log grew
+// to the current head, carrying any accumulated intermediate chunk
+// boundaries. A boundary equal to head is covered by head itself.
 func (l *Client) notifyChunkReady(p *sim.Proc) {
 	l.sinceNotify = 0
-	l.backend.ChunkReady(p, l.log.Head())
+	head := l.log.Head()
+	marks := l.marks
+	if n := len(marks); n > 0 && marks[n-1] == head {
+		marks = marks[:n-1]
+	}
+	l.backend.ChunkReady(p, head, marks)
+	l.marks = l.marks[:0]
+}
+
+// notifyChunks is the configured doorbell coalescing degree, at least 1.
+func (l *Client) notifyChunks() int {
+	if l.cfg.NotifyChunks > 1 {
+		return l.cfg.NotifyChunks
+	}
+	return 1
 }
 
 // allocIno takes an inode number from the client's private range,

@@ -466,6 +466,12 @@ func (l *Client) Fsync(p *sim.Proc, fd int) error {
 	}
 	l.syscall(p)
 	l.Fsyncs++
+	// Ring any deferred doorbell first so the covered chunks enter the
+	// async pipelines at chunk granularity; the fsync then only carries
+	// the remainder on the sync path.
+	if len(l.marks) > 0 {
+		l.notifyChunkReady(p)
+	}
 	l.sinceNotify = 0
 	return l.backend.Fsync(p, l.log.Head())
 }

@@ -25,6 +25,7 @@ type fakeBackend struct {
 	published uint64
 	fsyncs    int
 	chunks    int
+	marks     []uint64
 	leaseReqs int
 }
 
@@ -35,7 +36,10 @@ func (b *fakeBackend) AcquireLease(p *sim.Proc, ino fs.Ino, mode lease.Mode) (bo
 
 func (b *fakeBackend) OpenCheck(p *sim.Proc, pth string) error { return nil }
 
-func (b *fakeBackend) ChunkReady(p *sim.Proc, head uint64) { b.chunks++ }
+func (b *fakeBackend) ChunkReady(p *sim.Proc, head uint64, marks []uint64) {
+	b.chunks++
+	b.marks = append(append(b.marks, marks...), head)
+}
 
 func (b *fakeBackend) Fsync(p *sim.Proc, head uint64) error {
 	b.fsyncs++
@@ -52,7 +56,7 @@ func (b *fakeBackend) Fsync(p *sim.Proc, head uint64) error {
 	return nil
 }
 
-func newFake(t *testing.T) (*sim.Env, *fakeBackend, *Client) {
+func newFake(t *testing.T, opts ...func(*Config)) (*sim.Env, *fakeBackend, *Client) {
 	t.Helper()
 	env := sim.NewEnv(1)
 	pm := hw.NewPM(env, "pm", hw.DefaultPMConfig(256<<20))
@@ -62,7 +66,7 @@ func newFake(t *testing.T) (*sim.Env, *fakeBackend, *Client) {
 	}
 	la := fs.NewLogArea(pm, 128<<20, 16<<20)
 	b := &fakeBackend{env: env, pm: pm, vol: vol, log: la}
-	c := NewClient(env, b, Config{
+	cfg := Config{
 		ID:  "test",
 		Log: la,
 		Vol: vol,
@@ -73,7 +77,11 @@ func newFake(t *testing.T) (*sim.Env, *fakeBackend, *Client) {
 		InoMax:    1024,
 		ChunkSize: 1 << 20,
 		LeaseTTL:  time.Second,
-	})
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	c := NewClient(env, b, cfg)
 	b.client = c
 	return env, b, c
 }
@@ -171,6 +179,43 @@ func TestChunkReadyPacing(t *testing.T) {
 		// 4 MB written with a 1 MB chunk size: ~4 notifications.
 		if b.chunks < 3 || b.chunks > 6 {
 			t.Fatalf("chunk-ready notifications = %d, want ~4", b.chunks)
+		}
+	})
+}
+
+// TestDoorbellCoalescing checks the NotifyChunks path: chunk boundaries
+// accumulate and one doorbell carries several marks, every boundary is
+// still announced exactly once and in order, and fsync flushes a deferred
+// doorbell so no boundary waits indefinitely.
+func TestDoorbellCoalescing(t *testing.T) {
+	t.Parallel()
+	env, b, c := newFake(t, func(cfg *Config) { cfg.NotifyChunks = 4 })
+	run(t, env, func(p *sim.Proc) {
+		fd, _ := c.Create(p, "/coalesce")
+		buf := make([]byte, 1<<20)
+		// 8 chunk-sized writes: 8 boundaries, but only 2 doorbells.
+		for off := 0; off < 8<<20; off += len(buf) {
+			c.WriteAt(p, fd, uint64(off), buf)
+		}
+		if b.chunks != 2 {
+			t.Fatalf("doorbells = %d for 8 chunk boundaries, want 2", b.chunks)
+		}
+		// Boundaries strictly increase: the backend saw each range once.
+		for i := 1; i < len(b.marks); i++ {
+			if b.marks[i] <= b.marks[i-1] {
+				t.Fatalf("boundary %d out of order: %v", i, b.marks)
+			}
+		}
+		// A partial accumulation is flushed by fsync, not dropped.
+		c.WriteAt(p, fd, 8<<20, buf)
+		if b.chunks != 2 {
+			t.Fatalf("premature doorbell after one boundary (got %d)", b.chunks)
+		}
+		if err := c.Fsync(p, fd); err != nil {
+			t.Fatal(err)
+		}
+		if b.chunks != 3 {
+			t.Fatalf("fsync did not flush the deferred doorbell (got %d)", b.chunks)
 		}
 	})
 }

@@ -39,6 +39,12 @@ var wireFuncs = map[string]map[string]bool{
 		"Decompress":     true,
 		"DecompressInto": true,
 	},
+	"internal/core": {
+		// Replication batch decode entry points: a frame that fails to decode
+		// must never be persisted or acknowledged.
+		"decodeBatchChunk":  true,
+		"decompressPayload": true,
+	},
 }
 
 func runWireCheck(pass *Pass) {

@@ -1,9 +1,12 @@
 // Package pipeline implements the parallel data-path execution pipeline at
 // the heart of LineFS (§3.1, §3.3): items flow through a sequence of
-// stages, each served by a pool of worker processes. A monitor watches
-// per-stage queue depths and dynamically assigns more workers to a
-// bottleneck stage (the paper grows a stage when its wait queue exceeds
-// five entries), within a shared thread budget.
+// stages, each served by a pool of worker processes. Scaling is
+// event-driven: every enqueue checks the target stage's wait-queue depth
+// and grows the stage on the spot when it exceeds the threshold (the paper
+// grows a stage when its wait queue exceeds five entries), within a thread
+// budget that may be shared across pipelines. Surplus workers retire as
+// soon as they find their queue empty, so an idle pipeline has exactly its
+// minimum workers parked on empty queues and burns zero simulated events.
 //
 // Stages marked InOrder commit items strictly by submission sequence,
 // which is how the pipeline preserves client log order for linearizability
@@ -29,25 +32,76 @@ type Stage[T any] struct {
 	MaxWorkers int
 }
 
+// Budget caps the total worker count across the pipelines sharing it — the
+// paper's thread budget spans every pipeline on the SmartNIC, so a stage
+// bursting in one client's pipeline competes with every other client's.
+// Minimum workers are always admitted (a pipeline must be able to make
+// progress); only dynamic growth is refused at the cap.
+type Budget struct {
+	// Max is the worker cap; 0 means unlimited.
+	Max  int
+	used int
+}
+
+// NewBudget creates a budget capping max workers (0 = unlimited).
+func NewBudget(max int) *Budget { return &Budget{Max: max} }
+
+// Used returns the workers currently drawn from the budget.
+func (b *Budget) Used() int {
+	if b == nil {
+		return 0
+	}
+	return b.used
+}
+
+// tryAcquire admits one dynamic worker if the cap allows.
+func (b *Budget) tryAcquire() bool {
+	if b == nil {
+		return true
+	}
+	if b.Max > 0 && b.used >= b.Max {
+		return false
+	}
+	b.used++
+	return true
+}
+
+// force admits one mandatory (minimum) worker regardless of the cap.
+func (b *Budget) force() {
+	if b != nil {
+		b.used++
+	}
+}
+
+func (b *Budget) release() {
+	if b != nil {
+		b.used--
+	}
+}
+
 // Config tunes pipeline behaviour.
 type Config struct {
 	// QueueCap bounds each inter-stage queue (backpressure); 0 = 8.
 	QueueCap int
 	// ScaleThreshold is the queue depth that triggers growing a stage.
 	ScaleThreshold int
-	// MonitorInterval is how often the scaling monitor samples queues.
+	// MonitorInterval is unused: scaling is event-driven (checked on every
+	// enqueue). The field remains so existing configurations still compile.
 	MonitorInterval time.Duration
-	// ThreadBudget caps total workers across stages (0 = unlimited).
+	// ThreadBudget caps total workers across this pipeline's stages
+	// (0 = unlimited). Ignored when Budget is set.
 	ThreadBudget int
+	// Budget, when non-nil, is a worker budget shared with other
+	// pipelines; it takes precedence over ThreadBudget.
+	Budget *Budget
 }
 
 // DefaultConfig mirrors the paper's description: scale a stage when its
 // wait queue grows beyond 5 entries.
 func DefaultConfig() Config {
 	return Config{
-		QueueCap:        8,
-		ScaleThreshold:  5,
-		MonitorInterval: 200 * time.Microsecond,
+		QueueCap:       8,
+		ScaleThreshold: 5,
 	}
 }
 
@@ -75,17 +129,15 @@ type Pipeline[T any] struct {
 	env    *sim.Env
 	name   string
 	cfg    Config
+	budget *Budget
 	stages []*stageState[T]
 
 	submitSeq uint64
 	inflight  int
 	idle      *sim.Event
 
-	threads int
-
-	monitor *sim.Proc
-	procs   []*sim.Proc
-	closed  bool
+	procs  []*sim.Proc
+	closed bool
 
 	// Scaled counts dynamic worker additions (diagnostics / tests).
 	Scaled int
@@ -99,10 +151,10 @@ func New[T any](env *sim.Env, name string, cfg Config, stages ...Stage[T]) *Pipe
 	if cfg.ScaleThreshold == 0 {
 		cfg.ScaleThreshold = 5
 	}
-	if cfg.MonitorInterval == 0 {
-		cfg.MonitorInterval = 200 * time.Microsecond
+	pl := &Pipeline[T]{env: env, name: name, cfg: cfg, budget: cfg.Budget, idle: sim.NewEvent(env)}
+	if pl.budget == nil {
+		pl.budget = NewBudget(cfg.ThreadBudget)
 	}
-	pl := &Pipeline[T]{env: env, name: name, cfg: cfg, idle: sim.NewEvent(env)}
 	pl.idle.Trigger(nil)
 	for _, s := range stages {
 		if s.MinWorkers == 0 {
@@ -126,29 +178,37 @@ func New[T any](env *sim.Env, name string, cfg Config, stages ...Stage[T]) *Pipe
 	}
 	for si, st := range pl.stages {
 		for w := 0; w < st.spec.MinWorkers; w++ {
+			pl.budget.force()
 			pl.addWorker(si)
 		}
 	}
-	pl.monitor = env.Go(name+"/monitor", pl.runMonitor)
 	return pl
 }
 
 func (pl *Pipeline[T]) addWorker(si int) {
 	st := pl.stages[si]
 	st.workers++
-	pl.threads++
-	w := st.workers - 1
 	proc := pl.env.Go(pl.name+"/"+st.spec.Name, func(p *sim.Proc) {
-		pl.runWorker(p, si, w)
+		pl.runWorker(p, si)
 	})
 	pl.procs = append(pl.procs, proc)
 }
 
-func (pl *Pipeline[T]) runWorker(p *sim.Proc, si, _ int) {
+func (pl *Pipeline[T]) runWorker(p *sim.Proc, si int) {
 	st := pl.stages[si]
 	for {
+		// Scale-down: a surplus worker retires the moment it would block on
+		// an empty queue, returning its thread to the budget. The minimum
+		// workers stay parked on Get, burning no events while idle.
+		if st.in.Len() == 0 && st.workers > st.spec.MinWorkers {
+			st.workers--
+			pl.budget.release()
+			return
+		}
 		it, ok := st.in.Get(p)
 		if !ok {
+			st.workers--
+			pl.budget.release()
 			return
 		}
 		if st.spec.InOrder {
@@ -181,9 +241,22 @@ func (pl *Pipeline[T]) process(p *sim.Proc, st *stageState[T], si int, it seqIte
 	pl.forward(p, si, it)
 }
 
+// enqueue puts an item on stage si's wait queue, growing the stage first
+// when the depth (including this item) crosses the scale threshold — the
+// event-driven replacement for the sleep-polling monitor: scale-up latency
+// is bounded by the enqueue itself, not by a sampling interval.
+func (pl *Pipeline[T]) enqueue(p *sim.Proc, si int, it seqItem[T]) {
+	st := pl.stages[si]
+	if st.in.Len()+1 > pl.cfg.ScaleThreshold && st.workers < st.spec.MaxWorkers && pl.budget.tryAcquire() {
+		pl.addWorker(si)
+		pl.Scaled++
+	}
+	st.in.Put(p, it)
+}
+
 func (pl *Pipeline[T]) forward(p *sim.Proc, si int, it seqItem[T]) {
 	if si+1 < len(pl.stages) {
-		pl.stages[si+1].in.Put(p, it)
+		pl.enqueue(p, si+1, it)
 		return
 	}
 	pl.inflight--
@@ -202,7 +275,7 @@ func (pl *Pipeline[T]) Submit(p *sim.Proc, item T) {
 		pl.idle = sim.NewEvent(pl.env)
 	}
 	pl.inflight++
-	pl.stages[0].in.Put(p, seqItem[T]{seq: pl.submitSeq, item: item})
+	pl.enqueue(p, 0, seqItem[T]{seq: pl.submitSeq, item: item})
 	pl.submitSeq++
 }
 
@@ -222,13 +295,12 @@ func (pl *Pipeline[T]) QueueDepth(si int) int { return pl.stages[si].in.Len() }
 // Workers returns the worker count of stage si.
 func (pl *Pipeline[T]) Workers(si int) int { return pl.stages[si].workers }
 
-// Close stops all workers once queues drain and kills the monitor.
+// Close stops all workers once queues drain.
 func (pl *Pipeline[T]) Close() {
 	if pl.closed {
 		return
 	}
 	pl.closed = true
-	pl.monitor.Kill()
 	for _, st := range pl.stages {
 		st.in.Close()
 	}
@@ -239,26 +311,5 @@ func (pl *Pipeline[T]) Kill() {
 	pl.Close()
 	for _, p := range pl.procs {
 		p.Kill()
-	}
-}
-
-// runMonitor implements dynamic stage scaling: when a stage's wait queue
-// exceeds the threshold and the thread budget allows, add a worker.
-func (pl *Pipeline[T]) runMonitor(p *sim.Proc) {
-	for {
-		p.Sleep(pl.cfg.MonitorInterval)
-		for si, st := range pl.stages {
-			if st.in.Len() <= pl.cfg.ScaleThreshold {
-				continue
-			}
-			if st.workers >= st.spec.MaxWorkers {
-				continue
-			}
-			if pl.cfg.ThreadBudget > 0 && pl.threads >= pl.cfg.ThreadBudget {
-				continue
-			}
-			pl.addWorker(si)
-			pl.Scaled++
-		}
 	}
 }
