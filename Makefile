@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build lint lint-fix-list test-short test race selfcheck test-full bench kernelbench databench databench-smoke repbench repbench-smoke clean
+.PHONY: ci vet build lint lint-fix-list test-short test race selfcheck test-full bench kernelbench databench databench-smoke repbench repbench-smoke chaos chaos-smoke clean
 
-ci: vet build lint test-short race selfcheck databench-smoke repbench-smoke
+ci: vet build lint test-short race selfcheck databench-smoke repbench-smoke chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -82,6 +82,18 @@ repbench:
 # complete; the report goes to a scratch file.
 repbench-smoke:
 	$(GO) run ./cmd/linefs-bench -repbench -repbench-time 25ms -repbench-out /tmp/BENCH_replication_smoke.json
+
+# Seeded fault-schedule explorer (DESIGN.md §12): 200 generated schedules
+# of drops, duplicates, corruption, delays, partitions, and host crashes
+# against a full cluster, each run twice; fails on any invariant violation
+# (acked durability, replica convergence, clean drain, digest
+# reproducibility) and prints a -chaos-seed reproducer.
+chaos:
+	$(GO) run ./cmd/linefs-bench -chaos
+
+# CI smoke: same harness and invariants, 25 schedules.
+chaos-smoke:
+	$(GO) run ./cmd/linefs-bench -chaos -chaos-n 25
 
 clean:
 	rm -f linefs-bench

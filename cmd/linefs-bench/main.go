@@ -12,6 +12,8 @@
 //	linefs-bench -databench           # data-plane microbench -> BENCH_dataplane.json
 //	linefs-bench -repbench            # replication-chain bench -> BENCH_replication.json
 //	linefs-bench -selfcheck           # run each experiment twice, fail on digest divergence
+//	linefs-bench -chaos               # 200 seeded fault schedules, fail on invariant violations
+//	linefs-bench -chaos -chaos-seed 7 # replay one chaos schedule (minimal reproducer)
 //
 // Every experiment owns a self-contained sim.Env with a deterministic seed,
 // so -j N produces byte-identical tables to -j 1; only wall-clock changes.
@@ -59,6 +61,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rout   = fs.String("repbench-out", "BENCH_replication.json", "output path for -repbench")
 		rtime  = fs.Duration("repbench-time", time.Second, "pooled-path allocation measurement window for -repbench")
 		self   = fs.Bool("selfcheck", false, "run each experiment twice and fail on sim-sanitizer digest divergence")
+		chaos  = fs.Bool("chaos", false, "run the seeded fault-schedule explorer and fail on any invariant violation")
+		chaosN = fs.Int("chaos-n", 200, "number of seeded fault schedules for -chaos")
+		chaosS = fs.Int64("chaos-seed", -1, "replay exactly this chaos seed (reproducer mode); -1 runs -chaos-n schedules")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -127,6 +132,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			rep.Current.FsyncP99Micros, rep.Baseline.FsyncP99Micros, rep.FsyncP99Speedup)
 		fmt.Fprintf(stdout, "pooled path allocs/op:      %12.3f\n", rep.PooledAllocsPerOp)
 		fmt.Fprintf(stdout, "wrote %s\n", *rout)
+		return 0
+	}
+
+	if *chaos {
+		if bad := bench.Chaos(bench.Options{Quick: !*full, Seed: *seed}, *chaosN, *chaosS, stdout, stderr); bad > 0 {
+			fmt.Fprintf(stderr, "chaos: %d schedule(s) violated invariants\n", bad)
+			return 1
+		}
 		return 0
 	}
 

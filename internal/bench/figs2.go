@@ -401,5 +401,8 @@ func Fig10(o Options) (*Result, error) {
 	}
 	res.Notes = append(res.Notes,
 		"paper: no observable throughput drop during the failure window (isolated NICFS keeps the chain alive)")
+	if cl.Robust.Any() {
+		res.Notes = append(res.Notes, "robustness: "+cl.Robust.Summary())
+	}
 	return res, nil
 }

@@ -1,9 +1,10 @@
 // Package cluster implements the ZooKeeper-like cluster manager LineFS
 // relies on for DFS membership, failure detection, epoch management and
 // root lease arbitration (§3.4–3.6). The manager heartbeats every member
-// once per second; a missed heartbeat marks the member down, bumps the
-// cluster epoch, expires its leases (via the listener) and notifies the
-// survivors. Recovery bumps the epoch again.
+// once per second; DownAfter consecutive missed heartbeats mark the member
+// down, bump the cluster epoch, expire its leases (via the listener) and
+// notify the survivors. Recovery bumps the epoch again after a single
+// responsive probe.
 package cluster
 
 import (
@@ -49,8 +50,17 @@ type Manager struct {
 	env      *sim.Env
 	interval time.Duration
 
+	// DownAfter is the failure-detection hysteresis: a live member is
+	// declared down only after this many consecutive missed probes
+	// (default 3). A single delayed probe — a GC pause, a saturated link —
+	// then costs nothing, where the one-miss detector bumped the epoch,
+	// expired leases, and reshaped every replication chain. Recovery is
+	// immediate: one responsive probe brings a down member back.
+	DownAfter int
+
 	members []Member
 	alive   map[string]bool
+	missed  map[string]int
 	epoch   uint64
 
 	// rootLease maps a namespace root to the NICFS delegated to arbitrate
@@ -69,7 +79,9 @@ func NewManager(env *sim.Env, interval time.Duration) *Manager {
 	return &Manager{
 		env:       env,
 		interval:  interval,
+		DownAfter: 3,
 		alive:     make(map[string]bool),
+		missed:    make(map[string]int),
 		rootLease: make(map[string]string),
 	}
 }
@@ -130,8 +142,15 @@ func (m *Manager) run(p *sim.Proc) {
 			name := mb.Name()
 			switch {
 			case m.alive[name] && !responsive:
-				m.transition(p, mb, false)
+				m.missed[name]++
+				if m.missed[name] >= m.DownAfter {
+					m.missed[name] = 0
+					m.transition(p, mb, false)
+				}
+			case m.alive[name] && responsive:
+				m.missed[name] = 0
 			case !m.alive[name] && responsive:
+				m.missed[name] = 0
 				m.transition(p, mb, true)
 			}
 		}

@@ -81,7 +81,7 @@ func TestRootLeaseFailover(t *testing.T) {
 		p.Sleep(1500 * time.Millisecond)
 		a.up = false
 	})
-	e.RunUntil(4 * time.Second)
+	e.RunUntil(6 * time.Second)
 
 	holder, ok := m.RootDelegate("/")
 	if !ok || holder != "b" {
@@ -114,9 +114,74 @@ func TestAliveMembers(t *testing.T) {
 	m.Join(a)
 	m.Join(b)
 	m.Start()
-	e.RunUntil(2 * time.Second)
+	// Three consecutive misses (the DownAfter default) before b is declared
+	// down.
+	e.RunUntil(4 * time.Second)
 	alive := m.AliveMembers()
 	if len(alive) != 1 || alive[0].Name() != "a" {
 		t.Fatalf("alive = %d members", len(alive))
+	}
+}
+
+// flakyMember misses a fixed window of probes, then recovers.
+type flakyMember struct {
+	fakeMember
+	probes int
+	missLo int // first probe index missed (1-based)
+	missHi int // last probe index missed
+}
+
+func (f *flakyMember) Probe(p *sim.Proc) bool {
+	f.probes++
+	return f.probes < f.missLo || f.probes > f.missHi
+}
+
+// TestSingleMissedProbeNoTransition is the flapping regression: one delayed
+// probe must not bump the epoch, expire leases, or reshape chains.
+func TestSingleMissedProbeNoTransition(t *testing.T) {
+	t.Parallel()
+	e := sim.NewEnv(1)
+	m := NewManager(e, time.Second)
+	a := &fakeMember{name: "a", up: true}
+	b := &flakyMember{fakeMember: fakeMember{name: "b"}, missLo: 3, missHi: 3}
+	m.Join(a)
+	m.Join(b)
+	m.Start()
+	e.RunUntil(10 * time.Second)
+
+	if m.Epoch() != 0 || len(m.History) != 0 {
+		t.Fatalf("single missed probe caused transitions: epoch=%d history=%v", m.Epoch(), m.History)
+	}
+	if len(a.downs) != 0 {
+		t.Fatalf("peer notified of a flap: %v", a.downs)
+	}
+	if !m.Alive("b") {
+		t.Fatal("b marked dead after one missed probe")
+	}
+}
+
+// TestConsecutiveMissesTransition checks the miss counter resets on a
+// responsive probe: two misses, one success, two misses again must not
+// reach the threshold, but three in a row must.
+func TestConsecutiveMissesTransition(t *testing.T) {
+	t.Parallel()
+	e := sim.NewEnv(1)
+	m := NewManager(e, time.Second)
+	// Misses probes 2..3 (two in a row), responsive at 4, misses 5..6.
+	b := &flakyMember{fakeMember: fakeMember{name: "b"}, missLo: 2, missHi: 3}
+	m.Join(b)
+	m.Start()
+	e.RunUntil(4 * time.Second)
+	b.missLo, b.missHi = 5, 6
+	e.RunUntil(7 * time.Second)
+	if m.Epoch() != 0 {
+		t.Fatalf("non-consecutive misses transitioned: history=%v", m.History)
+	}
+
+	// Now a real failure: three consecutive misses (and counting).
+	b.missLo, b.missHi = 8, 100
+	e.RunUntil(11 * time.Second)
+	if m.Alive("b") || m.Epoch() != 1 {
+		t.Fatalf("three consecutive misses did not transition: epoch=%d alive=%v", m.Epoch(), m.Alive("b"))
 	}
 }

@@ -171,7 +171,118 @@ func newClientState(n *NICFS, slot int, id string, la *fs.LogArea) *clientState 
 	}
 	cs.procs = append(cs.procs, env.Go(id+"/sender", cs.runSender))
 	cs.procs = append(cs.procs, env.Go(id+"/completion", cs.runCompletion))
+	if cfg.RepRetryEvery > 0 {
+		cs.procs = append(cs.procs, env.Go(id+"/retransmit", cs.runRetransmit))
+	}
 	return cs
+}
+
+// runRetransmit is the replication retry layer (enabled by RepRetryEvery):
+// when the pending window sits without the cumulative-ack watermark
+// advancing for a full interval, the un-replicated chunks are resent down
+// the chain. Resends are idempotent — a mirror that already persisted a
+// range re-acks its watermark and drops the duplicate (re-forwarding it, in
+// case the lost frame was a mid-chain hop's forward) — and the interval
+// backs off exponentially while no progress is made, so a long partition
+// does not flood the fabric. Chunk buffers stay alive until replication
+// completes, so resending reuses them without copies.
+func (cs *clientState) runRetransmit(p *sim.Proc) {
+	every := cs.n.cl.Cfg.RepRetryEvery
+	delay := every
+	var lastWater uint64
+	for {
+		p.Sleep(delay)
+		if len(cs.repPending) == 0 {
+			delay = every
+			continue
+		}
+		water, any := cs.aliveWater()
+		if !any {
+			// No live replica: advanceAcked already completes chunks against
+			// the reconfigured (empty) chain; nothing to resend to.
+			delay = every
+			continue
+		}
+		if water > lastWater {
+			lastWater = water
+			delay = every
+			continue
+		}
+		cs.resendPending(p)
+		if delay < 8*every {
+			delay *= 2
+		}
+	}
+}
+
+// resendPending re-ships every un-replicated pending chunk, coalescing
+// contiguous runs into batches bounded like the first transmission.
+func (cs *clientState) resendPending(p *sim.Proc) {
+	n := cs.n
+	cfg := n.cl.Cfg
+	maxChunks := cfg.RepBatchChunks
+	if maxChunks < 1 {
+		maxChunks = 1
+	}
+	var run []*chunk
+	flush := func() {
+		if len(run) == 0 {
+			return
+		}
+		cs.sendRun(p, run)
+		run = run[:0]
+	}
+	for _, ck := range cs.repPending {
+		if ck.replicated.Triggered() {
+			flush()
+			continue
+		}
+		if len(run) > 0 && run[len(run)-1].to != ck.from {
+			flush()
+		}
+		run = append(run, ck)
+		if len(run) >= maxChunks {
+			flush()
+		}
+	}
+	flush()
+}
+
+// sendRun ships one contiguous chunk run as a retransmission frame.
+func (cs *clientState) sendRun(p *sim.Proc, run []*chunk) {
+	n := cs.n
+	sync := false
+	wire := 0
+	for _, ck := range run {
+		if ck.sync {
+			sync = true
+		}
+		wire += len(payloadOf(ck))
+	}
+	conn := n.peer(cs.chain[1], sync)
+	if len(run) == 1 {
+		ck := run[0]
+		_ = conn.Send(p, "repl-chunk", &replChunk{
+			Slot: cs.slot, From: ck.from, To: ck.to, FirstSeq: ck.firstSeq,
+			Payload: payloadOf(ck), Compressed: ck.compressed, RawLen: len(ck.raw),
+			Touched: ck.touched, Epoch: n.epoch, Sync: ck.sync,
+		}, wire)
+	} else {
+		msg := &replChunkBatch{
+			Slot: cs.slot, Epoch: n.epoch, From: run[0].from, To: run[len(run)-1].to,
+			Sync: sync, Chunks: make([]batchChunk, len(run)),
+		}
+		for i, ck := range run {
+			msg.Chunks[i] = batchChunk{
+				From: ck.from, To: ck.to, FirstSeq: ck.firstSeq,
+				Payload: payloadOf(ck), Compressed: ck.compressed,
+				RawLen: len(ck.raw), Touched: ck.touched, Sync: ck.sync,
+			}
+		}
+		_ = conn.Send(p, "repl-chunk-batch", msg, wire)
+	}
+	n.RepMsgs++
+	n.cl.Robust.RepResends++
 }
 
 func (cs *clientState) kill() {
@@ -477,7 +588,7 @@ func (cs *clientState) publishChunk(p *sim.Proc, ck *chunk) {
 		return
 	}
 	copyStart := p.Now()
-	if n.publishItems(p, items) {
+	if n.publishItems(p, items, nil) {
 		// The timed-out kernel worker may still read these item buffers,
 		// which alias ck.raw: leak the chunk instead of recycling it.
 		ck.retained = true
@@ -639,6 +750,7 @@ func (cs *clientState) ackChunk(p *sim.Proc, ack *replAck) {
 	}
 	if pos < 0 || ack.To <= cs.ackWater[pos] {
 		cs.n.StaleAcks++
+		cs.n.cl.Robust.StaleAcks++
 		return
 	}
 	cs.ackWater[pos] = ack.To

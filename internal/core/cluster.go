@@ -10,6 +10,7 @@ import (
 	"linefs/internal/node"
 	"linefs/internal/rdma"
 	"linefs/internal/sim"
+	"linefs/internal/stats"
 )
 
 // Cluster is a running LineFS deployment: machines, public volumes, NICFS
@@ -24,6 +25,11 @@ type Cluster struct {
 	NICs     []*NICFS
 	KWs      []*KWorker
 	Mgr      *cluster.Manager
+
+	// Robust aggregates the cluster's failure-path counters: fault-plane
+	// injections (when a fault plane is installed on the fabric), retry and
+	// timeout reactions, and integrity-gate rejections.
+	Robust stats.Robustness
 
 	clients []*Attachment // by slot
 	nAttach int
@@ -54,13 +60,31 @@ func NewCluster(env *sim.Env, cfg Config) (*Cluster, error) {
 		}
 		cl.Machines = append(cl.Machines, m)
 		cl.Vols = append(cl.Vols, v)
+		// Machine-local RPC timeouts (NICFS <-> kernel worker) count too.
+		m.Local.Robust = &cl.Robust
 		// Expose the whole PM over the network for direct last-hop log
 		// writes, and over the machine-local fabric for NICFS access.
 		m.Port.RegisterRegion("pm", &rdma.PMRegion{PM: m.PM, Base: 0, Len: cfg.Spec.PMSize, Extra: []*hw.Link{m.PCIe}, Persist: true})
 		m.HostPort.RegisterRegion("pm", &rdma.PMRegion{PM: m.PM, Base: 0, Len: cfg.Spec.PMSize, Persist: true})
 	}
 	cl.Mgr = cluster.NewManager(env, cfg.HeartbeatEvery)
+	if cfg.DownAfterProbes > 0 {
+		cl.Mgr.DownAfter = cfg.DownAfterProbes
+	}
+	// Timed-out and late-discarded RPCs on the cluster fabric count into the
+	// cluster's robustness summary even without a fault plane.
+	cl.Fabric.Robust = &cl.Robust
 	return cl, nil
+}
+
+// InstallFaultPlane attaches a deterministic fault plane to the cluster
+// fabric, feeding its injection counters into cl.Robust, and returns it for
+// rule installation. Idempotent.
+func (cl *Cluster) InstallFaultPlane() *rdma.FaultPlane {
+	if cl.Fabric.Faults == nil {
+		cl.Fabric.Faults = rdma.NewFaultPlane(cl.Env, &cl.Robust)
+	}
+	return cl.Fabric.Faults
 }
 
 // Start launches NICFS, kernel workers and the cluster manager on every

@@ -129,6 +129,27 @@ type Config struct {
 	// worker failure detector.
 	HeartbeatEvery time.Duration
 
+	// DownAfterProbes is the cluster manager's hysteresis: a member is
+	// declared down only after this many consecutive missed probes, so a
+	// single delayed probe does not bump the epoch and reshape every chain
+	// (<= 0 keeps the manager default).
+	DownAfterProbes int
+	// DetectorMisses is the same hysteresis for the NICFS->kernel-worker
+	// detector's isolated-mode flip (<= 0 means 1: flip on the first miss,
+	// the seed behavior — Figure 10's recovery timeline depends on it).
+	DetectorMisses int
+
+	// RepRetryEvery enables replication retransmission: chunks that sit in
+	// the primary's pending window without their cumulative-ack watermark
+	// advancing for this long are resent (idempotent at mirrors: a frame at
+	// or below the mirror log head is re-acked and dropped). Zero — the
+	// default — disables the retransmit process entirely.
+	RepRetryEvery time.Duration
+	// RPCRetryEvery enables control-RPC retry with doubling backoff for
+	// client-side attach/lease/open/fsync calls. Zero — the default — keeps
+	// the seed's single blocking Call.
+	RPCRetryEvery time.Duration
+
 	// InodesPerVol sizes each node's inode table; InoRangePerClient is the
 	// private inode number range handed to each LibFS at attach.
 	InodesPerVol      int
@@ -156,6 +177,8 @@ func DefaultConfig() Config {
 		LowWatermark:      0.3,
 		LeaseTTL:          time.Second,
 		HeartbeatEvery:    time.Second,
+		DownAfterProbes:   3,
+		DetectorMisses:    1,
 		InodesPerVol:      65536,
 		InoRangePerClient: 4096,
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/rand"
+
 	"linefs/internal/fs"
 	"linefs/internal/lease"
 )
@@ -84,6 +86,27 @@ type replChunk struct {
 	Sync bool
 }
 
+// CorruptCopy implements rdma.Corrupter: the fault plane's in-flight
+// bit-flip. The receiver's payload buffer is pooled on the primary and
+// shared with down-chain forwards, so the flip lands on a deep copy of the
+// payload only — framing fields stay intact, which models a payload bit
+// error the CRC gate must catch (a mangled header is caught by the framing
+// checks instead).
+func (rc *replChunk) CorruptCopy(rng *rand.Rand) any {
+	out := *rc
+	out.Payload = corruptPayload(rc.Payload, rng)
+	return &out
+}
+
+func corruptPayload(payload []byte, rng *rand.Rand) []byte {
+	bad := make([]byte, len(payload))
+	copy(bad, payload)
+	if len(bad) > 0 {
+		bad[rng.Intn(len(bad))] ^= 0xA5
+	}
+	return bad
+}
+
 // batchChunk is one chunk's framing inside a replChunkBatch: the same
 // fields replChunk carries, minus the batch-level ones (Slot, Epoch).
 type batchChunk struct {
@@ -110,6 +133,20 @@ type replChunkBatch struct {
 	// the low-latency class).
 	Sync   bool
 	Chunks []batchChunk
+}
+
+// CorruptCopy implements rdma.Corrupter: one member frame's payload is
+// deep-copied and bit-flipped; the other frames are shared untouched.
+func (rb *replChunkBatch) CorruptCopy(rng *rand.Rand) any {
+	out := *rb
+	if len(rb.Chunks) == 0 {
+		return &out
+	}
+	out.Chunks = make([]batchChunk, len(rb.Chunks))
+	copy(out.Chunks, rb.Chunks)
+	i := rng.Intn(len(out.Chunks))
+	out.Chunks[i].Payload = corruptPayload(out.Chunks[i].Payload, rng)
+	return &out
 }
 
 // replDirect notifies the last replica that chunk bytes were already

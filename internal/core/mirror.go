@@ -51,10 +51,38 @@ type mirrorState struct {
 type pubJob struct {
 	raw      []byte
 	from, to uint64
-	// noPool marks a buffer a timed-out kernel-worker copy may still read;
-	// it is leaked instead of recycled.
-	noPool bool
+	// hold owns raw's return to the mirror pool.
+	hold *bufHold
 }
+
+// bufHold is the reference count on one pooled mirror buffer. Persist and
+// publication both hand the buffer to the kernel worker; when either copy
+// times out, the worker may still be reading it, so the buffer can return
+// to the pool only when every outstanding reference — including a late
+// kernel-worker response discarded by the abandoned-call path — has been
+// released. A worker that never responds (host crash) keeps its reference
+// forever and the buffer leaks, which is the only safe disposition.
+type bufHold struct {
+	ms   *mirrorState
+	buf  []byte
+	refs int
+}
+
+func (ms *mirrorState) newHold(buf []byte) *bufHold {
+	return &bufHold{ms: ms, buf: buf, refs: 1}
+}
+
+func (h *bufHold) acquire() { h.refs++ }
+
+func (h *bufHold) release() {
+	h.refs--
+	if h.refs == 0 {
+		h.ms.putBuf(h.buf)
+	}
+}
+
+// discardHook adapts release to the rdma abandonment callback.
+func (h *bufHold) discardHook(p *sim.Proc) { h.release() }
 
 // getBuf pops a pooled length-n buffer (or makes one).
 func (ms *mirrorState) getBuf(n int) []byte {
@@ -154,10 +182,10 @@ func (ms *mirrorState) runPublisher(p *sim.Proc) {
 		if !ok {
 			return
 		}
-		retained := ms.publishLocal(p, job.raw, job.from, job.to)
-		if !job.noPool && !retained {
-			ms.putBuf(job.raw)
-		}
+		ms.publishLocal(p, job.raw, job.from, job.to, job.hold)
+		// Drop the pipeline's own reference; the buffer pools once every
+		// outstanding kernel-worker handoff has resolved too.
+		job.hold.release()
 	}
 }
 
@@ -173,18 +201,17 @@ func (ms *mirrorState) run(p *sim.Proc) {
 		if !ok {
 			return
 		}
-		var from uint64
+		var from, to uint64
 		switch arg := msg.Arg.(type) {
 		case *replChunk:
-			from = arg.From
+			from, to = arg.From, arg.To
 		case *replChunkBatch:
-			from = arg.From
+			from, to = arg.From, arg.To
 		case *replDirect:
-			from = arg.From
+			from, to = arg.From, arg.To
 		default:
 			continue
 		}
-		pending[from] = msg
 		if ms.fresh {
 			// A recovered replica's mirror starts at the stream's current
 			// position: earlier log content was invalidated and the state
@@ -196,6 +223,21 @@ func (ms *mirrorState) run(p *sim.Proc) {
 			}
 			ms.fresh = false
 		}
+		if from < ms.log.Head() {
+			// Duplicate delivery: a retransmitted (or fault-plane-duplicated)
+			// frame whose range we already persisted — chunk boundaries are
+			// stable, so an overlapping From means the covered prefix is
+			// already durable here. Re-ack the cumulative watermark (the
+			// original ack may be the thing that got lost) and drop the
+			// duplicate; a batch whose tail extends past our head is trimmed
+			// to its fresh frames instead.
+			msg = ms.dedup(p, msg, to)
+			if msg == nil {
+				continue
+			}
+			from = ms.log.Head()
+		}
+		pending[from] = msg
 		for {
 			next, ok := pending[ms.log.Head()]
 			if !ok {
@@ -212,6 +254,64 @@ func (ms *mirrorState) run(p *sim.Proc) {
 			}
 		}
 	}
+}
+
+// dedup handles a replication frame whose From lies below the mirror head:
+// it re-acks the cumulative watermark, counts the duplicate, and returns
+// either nil (fully covered — drop) or a trimmed copy of a batch whose tail
+// carries fresh frames starting exactly at the head.
+func (ms *mirrorState) dedup(p *sim.Proc, msg *rdma.Msg, to uint64) *rdma.Msg {
+	n := ms.n
+	head := ms.log.Head()
+	n.cl.Robust.DupDelivered++
+	primary := ms.chain[0]
+	_ = n.peer(primary, true).Send(p, "repl-ack",
+		&replAck{Slot: ms.slot, To: head, Node: n.Name()}, 24)
+	// Re-forward the duplicate down-chain: this hop has the range, but the
+	// retransmit that produced the duplicate may exist because a down-chain
+	// hop never got it (our original forward was the lost frame). Each hop
+	// dedups independently, so the repair propagates exactly as far as
+	// needed. replDirect only ever targets the last hop, so only chunk and
+	// batch frames re-forward.
+	if ms.chainPos != len(ms.chain)-1 {
+		next := ms.chain[ms.chainPos+1]
+		switch arg := msg.Arg.(type) {
+		case *replChunk:
+			n.cl.Env.Go(n.Name()+"/fwd", func(fp *sim.Proc) {
+				n.RepMsgs++
+				_ = n.peer(next, arg.Sync).Send(fp, "repl-chunk", arg, len(arg.Payload))
+			})
+		case *replChunkBatch:
+			n.cl.Env.Go(n.Name()+"/fwd", func(fp *sim.Proc) {
+				n.RepMsgs++
+				_ = n.peer(next, arg.Sync).Send(fp, "repl-chunk-batch", arg, batchWireLen(arg))
+			})
+		}
+	}
+	if to <= head {
+		return nil
+	}
+	rb, ok := msg.Arg.(*replChunkBatch)
+	if !ok {
+		// A single chunk (or direct note) straddling the head would mean
+		// the primary re-chunked acknowledged bytes — chunk boundaries are
+		// stable, so this cannot happen; drop rather than corrupt.
+		return nil
+	}
+	trimmed := *rb
+	trimmed.Chunks = nil
+	for i := range rb.Chunks {
+		if rb.Chunks[i].To <= head {
+			continue
+		}
+		trimmed.Chunks = append(trimmed.Chunks, rb.Chunks[i])
+	}
+	if len(trimmed.Chunks) == 0 || trimmed.Chunks[0].From != head {
+		return nil
+	}
+	trimmed.From = head
+	msg.Arg = &trimmed
+	return msg
 }
 
 // errBatchFrame rejects a replication frame whose decoded length does not
@@ -289,6 +389,15 @@ func (ms *mirrorState) handleChunk(p *sim.Proc, rc *replChunk) {
 		copy(raw, rc.Payload)
 	}
 
+	// Integrity gate: a frame corrupted in flight must be rejected before it
+	// is forwarded, persisted, or acknowledged — the primary's retransmit
+	// layer resends it; an ack here would mark garbage durable.
+	if err := fs.VerifyWire(raw); err != nil {
+		n.cl.Robust.CRCRejected++
+		ms.putBuf(raw)
+		return
+	}
+
 	// Merge namespace history for epoch recovery.
 	n.recordHistory(rc.Epoch, rc.Touched)
 
@@ -315,8 +424,11 @@ func (ms *mirrorState) handleChunk(p *sim.Proc, rc *replChunk) {
 		})
 	}
 
-	// Persist the chunk into the local PM log mirror.
-	retained := ms.persistRaw(p, rc.From, raw)
+	// Persist the chunk into the local PM log mirror. The hold's initial
+	// reference belongs to the publication pipeline and is released by the
+	// publisher once its own kernel-worker handoff resolves.
+	hold := ms.newHold(raw)
+	ms.persistRaw(p, rc.From, raw, hold)
 
 	// Acknowledge the primary: everything through To is durable here. Acks
 	// are latency-critical and ride the low-latency class (§3.3.2).
@@ -326,7 +438,7 @@ func (ms *mirrorState) handleChunk(p *sim.Proc, rc *replChunk) {
 
 	// Publish locally in the background so the replica's public area keeps
 	// up and the mirror ring can be reclaimed.
-	ms.pubQ.Put(p, pubJob{raw: raw, from: rc.From, to: rc.To, noPool: retained})
+	ms.pubQ.Put(p, pubJob{raw: raw, from: rc.From, to: rc.To, hold: hold})
 }
 
 // handleBatch persists a whole replChunkBatch with one pass: every frame
@@ -352,6 +464,12 @@ func (ms *mirrorState) handleBatch(p *sim.Proc, rb *replChunkBatch) {
 		if err := decodeBatchChunk(&ms.dec, raw[off:off+bc.RawLen:off+bc.RawLen], bc); err != nil {
 			ms.putBuf(raw)
 			return // corrupt transfer: never acknowledged
+		}
+		// Per-frame integrity gate (see handleChunk).
+		if err := fs.VerifyWire(raw[off : off+bc.RawLen]); err != nil {
+			n.cl.Robust.CRCRejected++
+			ms.putBuf(raw)
+			return
 		}
 		if bc.Compressed {
 			allRaw = false
@@ -381,14 +499,15 @@ func (ms *mirrorState) handleBatch(p *sim.Proc, rb *replChunkBatch) {
 		})
 	}
 
-	retained := ms.persistRaw(p, rb.From, raw)
+	hold := ms.newHold(raw)
+	ms.persistRaw(p, rb.From, raw, hold)
 
 	// One cumulative acknowledgment covers every chunk in the batch.
 	primary := ms.chain[0]
 	_ = n.peer(primary, true).Send(p, "repl-ack",
 		&replAck{Slot: rb.Slot, To: rb.To, Node: n.Name()}, 24)
 
-	ms.pubQ.Put(p, pubJob{raw: raw, from: rb.From, to: rb.To, noPool: retained})
+	ms.pubQ.Put(p, pubJob{raw: raw, from: rb.From, to: rb.To, hold: hold})
 }
 
 func batchRawLen(rb *replChunkBatch) int {
@@ -476,10 +595,25 @@ func (ms *mirrorState) forwardBatchDirect(p *sim.Proc, next int, rb *replChunkBa
 func (ms *mirrorState) handleDirect(p *sim.Proc, rd *replDirect) {
 	n := ms.n
 	cl := n.cl
+	m := cl.Machines[n.machine]
+	size := int(rd.To - rd.From)
+
+	// Integrity gate before the head advances: the one-sided write already
+	// landed in our PM log slot, but a payload corrupted in flight must not
+	// be acknowledged or made visible. The pre-read is cost-free (the costed
+	// PCIe fetch below still pays for the bytes publication actually uses).
+	raw := ms.getBuf(size)
+	ms.log.ReadRawInto(fs.NoCostCtx(m.PM), rd.From, raw)
+	if err := fs.VerifyWire(raw); err != nil {
+		n.cl.Robust.CRCRejected++
+		ms.putBuf(raw)
+		return // never advanced, never acknowledged
+	}
+
 	n.recordHistory(rd.Epoch, rd.Touched)
 	ctx := cl.nicCtx(p, n.machine, "nicfs")
-	size := int(rd.To - rd.From)
 	if err := ms.log.AdvanceHead(ctx, rd.From, size); err != nil {
+		ms.putBuf(raw)
 		return
 	}
 	primary := ms.chain[0]
@@ -488,18 +622,17 @@ func (ms *mirrorState) handleDirect(p *sim.Proc, rd *replDirect) {
 
 	// Publication needs the entries: fetch them from our own host PM log
 	// across PCIe into a pooled buffer.
-	m := cl.Machines[n.machine]
 	fctx := &fs.Ctx{P: p, PM: m.PM, ExtraRead: []*hw.Link{m.Fetch}}
-	raw := ms.getBuf(size)
 	ms.log.ReadRawInto(fctx, rd.From, raw)
-	ms.pubQ.Put(p, pubJob{raw: raw, from: rd.From, to: rd.To})
+	ms.pubQ.Put(p, pubJob{raw: raw, from: rd.From, to: rd.To, hold: ms.newHold(raw)})
 }
 
 // persistRaw copies chunk bytes from SmartNIC memory into the local host
 // PM log mirror: via the kernel worker's DMA engine normally, or across
-// PCIe directly in isolated mode (the Figure 10 failure path). Returns
-// true when a timed-out kernel worker may still hold the raw buffer.
-func (ms *mirrorState) persistRaw(p *sim.Proc, at uint64, raw []byte) bool {
+// PCIe directly in isolated mode (the Figure 10 failure path). The hold
+// keeps raw out of the pool while a timed-out kernel worker may still be
+// reading it.
+func (ms *mirrorState) persistRaw(p *sim.Proc, at uint64, raw []byte, hold *bufHold) {
 	n := ms.n
 	segs := ms.log.Segments(at, len(raw))
 	var items []copyItem
@@ -508,7 +641,13 @@ func (ms *mirrorState) persistRaw(p *sim.Proc, at uint64, raw []byte) bool {
 		items = append(items, copyItem{Dst: seg.PhysOff, Data: raw[off : off+seg.Len]})
 		off += seg.Len
 	}
-	retained := n.publishItems(p, items)
+	hold.acquire()
+	if !n.publishItems(p, items, hold.discardHook) {
+		// The worker answered (or the PCIe path ran): its reference is done.
+		// On timeout the reference stays with the in-flight copy and the
+		// discard hook releases it if the worker ever responds late.
+		hold.release()
+	}
 	// Advance and persist the mirror header (small PCIe write). A gap here
 	// means chunk arrival order diverged from log order — a chain-protocol
 	// bug that must not be papered over by silently skipping the advance.
@@ -516,33 +655,33 @@ func (ms *mirrorState) persistRaw(p *sim.Proc, at uint64, raw []byte) bool {
 	if err := ms.log.AdvanceHead(ctx, at, len(raw)); err != nil {
 		panic(fmt.Sprintf("core: mirror advance: %v", err))
 	}
-	return retained
 }
 
 // publishLocal applies a replicated chunk (or batch) to this replica's
-// public area and reclaims the mirror ring. Returns true when a timed-out
-// kernel worker may still hold the raw buffer.
-func (ms *mirrorState) publishLocal(p *sim.Proc, raw []byte, from, to uint64) bool {
+// public area and reclaims the mirror ring. The hold covers the kernel
+// worker's possible retention of raw, exactly as in persistRaw.
+func (ms *mirrorState) publishLocal(p *sim.Proc, raw []byte, from, to uint64, hold *bufHold) {
 	n := ms.n
 	if from != ms.pubNext && ms.pubNext != 0 {
 		// Gap (shouldn't happen: arrival order is log order); skip rather
 		// than corrupt.
-		return false
+		return
 	}
 	entries, err := fs.DecodeAll(raw)
 	if err != nil {
-		return false
+		return
 	}
 	n.nicCompute(p, validateCost(len(raw), n.cl.Cfg.Spec.ValidatePerMiB))
 	ctx := n.cl.nicCtx(p, n.machine, "nicfs")
 	var items []copyItem
 	cp := func(dst int64, src []byte) { items = append(items, copyItem{Dst: dst, Data: src}) }
-	retained := false
 	if err := n.vol.ApplyAll(ctx, entries, cp); err == nil {
-		retained = n.publishItems(p, items)
+		hold.acquire()
+		if !n.publishItems(p, items, hold.discardHook) {
+			hold.release()
+		}
 		n.PubBytes += int64(len(raw))
 	}
 	ms.pubNext = to
 	ms.log.Reclaim(ctx, to)
-	return retained
 }

@@ -314,9 +314,13 @@ func (n *NICFS) handleAttach(p *sim.Proc, msg *rdma.Msg) {
 	req := msg.Arg.(*attachReq)
 	cl := n.cl
 	logBase := cl.logBase(req.Slot)
-	la := fs.NewLogArea(cl.Machines[n.machine].PM, logBase, cl.Cfg.LogSize)
-	cs := newClientState(n, req.Slot, req.Client, la)
-	n.clients[req.Slot] = cs
+	// Idempotent for the RPC-retry path: a duplicate attach (the response
+	// was lost, the client retried) must not tear down live per-client
+	// state — re-answer with the same admission instead.
+	if cur := n.clients[req.Slot]; cur == nil || cur.id != req.Client {
+		la := fs.NewLogArea(cl.Machines[n.machine].PM, logBase, cl.Cfg.LogSize)
+		n.clients[req.Slot] = newClientState(n, req.Slot, req.Client, la)
+	}
 	resp := &attachResp{
 		InoBase:  fs.Ino(16 + req.Slot*cl.Cfg.InoRangePerClient),
 		InoCount: cl.Cfg.InoRangePerClient,
@@ -427,18 +431,34 @@ func (n *NICFS) persistLeaseRecord(p *sim.Proc, rec leaseRecord) {
 // leaseJournalOff is a small PM scratch area for the lease journal.
 const leaseJournalOff = 384
 
-// runDetector monitors the host kernel worker (§3.5): missed probes flip
-// NICFS into isolated operation; a successful probe flips it back.
+// runDetector monitors the host kernel worker (§3.5): Cfg.DetectorMisses
+// consecutive missed probes flip NICFS into isolated operation; a single
+// successful probe flips it back. The default threshold is 1 (flip on the
+// first miss): the probe runs over the machine-local fabric, where a miss
+// means the host really is gone, and entering isolated mode is cheap and
+// reversible — unlike a cluster-level down transition. The knob exists for
+// chaos schedules that inject faults on the local fabric.
 func (n *NICFS) runDetector(p *sim.Proc) {
 	interval := n.cl.Cfg.HeartbeatEvery / 2
+	need := n.cl.Cfg.DetectorMisses
+	if need <= 0 {
+		need = 1
+	}
+	misses := 0
 	for {
 		p.Sleep(interval)
 		_, err, replied := n.kwConn.CallTimeout(p, "probe", nil, 8, interval/2)
 		healthy := replied && err == nil
-		if !healthy && !n.Isolated {
+		if healthy {
+			misses = 0
+			if n.Isolated {
+				n.Isolated = false
+			}
+			continue
+		}
+		misses++
+		if misses >= need && !n.Isolated {
 			n.Isolated = true
-		} else if healthy && n.Isolated {
-			n.Isolated = false
 		}
 	}
 }
@@ -449,6 +469,7 @@ func (n *NICFS) handleReplAck(p *sim.Proc, ack *replAck) {
 	cs := n.clients[ack.Slot]
 	if cs == nil {
 		n.StaleAcks++
+		n.cl.Robust.StaleAcks++
 		return
 	}
 	cs.ackChunk(p, ack)
@@ -514,12 +535,14 @@ func (n *NICFS) pruneHistory() {
 // directly over PCIe when the host is down. A kernel worker that dies
 // mid-copy is retried through the PCIe path — publication is idempotent.
 // Returns true when a timed-out kernel worker may still read the item
-// buffers: the caller must not recycle them.
-func (n *NICFS) publishItems(p *sim.Proc, items []copyItem) bool {
+// buffers: the caller must not recycle them until onDiscard fires (the
+// worker's late response was discarded, so it is done with the buffers) —
+// and must leak them if it never does.
+func (n *NICFS) publishItems(p *sim.Proc, items []copyItem, onDiscard func(p *sim.Proc)) bool {
 	retained := false
 	if !n.Isolated {
-		_, err, replied := n.kwConn.CallTimeout(p, "copy", &copyReq{Items: items},
-			64*len(items), 50*time.Millisecond)
+		_, err, replied := n.kwConn.CallTimeoutDiscard(p, "copy", &copyReq{Items: items},
+			64*len(items), 50*time.Millisecond, onDiscard)
 		if replied && err == nil {
 			return false
 		}

@@ -1,0 +1,42 @@
+package fs
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// VerifyWire scans raw as a contiguous sequence of encoded log entries and
+// verifies each header magic and CRC without materializing entries. It is
+// the replication ingress integrity gate: a replica must reject a chunk
+// whose payload was corrupted in flight before persisting or acknowledging
+// it, or an fsync-acked range becomes unreadable at publication time.
+//
+// Pure codec work with no simulation cost: the bytes were already paid for
+// by the transfer, and the per-byte scan cost is charged by the caller's
+// validation accounting.
+//
+//linefs:hotpath
+func VerifyWire(raw []byte) error {
+	off := 0
+	for off < len(raw) {
+		buf := raw[off:]
+		if len(buf) < entryHdrSize {
+			return ErrShort
+		}
+		if binary.LittleEndian.Uint32(buf[0:]) != entryMagic {
+			return ErrBadMagic
+		}
+		nameLen := int(binary.LittleEndian.Uint16(buf[18:]))
+		name2Len := int(binary.LittleEndian.Uint16(buf[20:]))
+		dataLen := int(binary.LittleEndian.Uint32(buf[48:]))
+		size := align8(entryHdrSize + nameLen + name2Len + dataLen)
+		if size <= 0 || len(buf) < size {
+			return ErrShort
+		}
+		if crc32.ChecksumIEEE(buf[8:size]) != binary.LittleEndian.Uint32(buf[4:]) {
+			return ErrBadCRC
+		}
+		off += size
+	}
+	return nil
+}

@@ -14,6 +14,8 @@ func bad(la *fs.LogArea, ctx *fs.Ctx, e *fs.Entry, raw []byte) {
 	_ = la.AdvanceHead(ctx, 0, 0)    // want `error from LogArea\.AdvanceHead assigned to _`
 	_ = la.MirrorRaw(ctx, 0, raw)    // want `error from LogArea\.MirrorRaw assigned to _`
 	_, _ = fs.OpenLogArea(ctx, 0, 0) // want `error from fs\.OpenLogArea assigned to _`
+	fs.VerifyWire(raw)               // want `result of fs\.VerifyWire dropped`
+	_ = fs.VerifyWire(raw)           // want `error from fs\.VerifyWire assigned to _`
 }
 
 func badScratch(la *fs.LogArea, ctx *fs.Ctx, e *fs.Entry, d *compress.Decoder, raw []byte) {

@@ -34,6 +34,9 @@ var wireFuncs = map[string]map[string]bool{
 		"MirrorRaw":          true,
 		"AdvanceHead":        true,
 		"OpenLogArea":        true,
+		// Fault-plane ingress gate: a frame whose CRC scan is dropped gets
+		// persisted and acknowledged corrupt.
+		"VerifyWire": true,
 	},
 	"internal/compress": {
 		"Decompress":     true,

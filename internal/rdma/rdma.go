@@ -27,6 +27,15 @@ type Fabric struct {
 	Total  stats.Counter
 	Series *stats.TimeSeries
 
+	// Faults, when non-nil, is the deterministic fault-injection plane
+	// applied at every dispatch point (see fault.go). Nil — the default —
+	// costs nothing.
+	Faults *FaultPlane
+	// Robust, when non-nil, receives robustness counters the fabric
+	// produces even without a fault plane (timed-out calls, discarded
+	// late replies).
+	Robust *stats.Robustness
+
 	ports map[string]*NIC
 }
 
@@ -128,6 +137,12 @@ type Msg struct {
 
 	conn  *Conn
 	reply *sim.Event
+	// abandoned marks a call whose sender timed out and moved on: a late
+	// Respond/RespondErr is discarded instead of triggering into the stale
+	// event, and onDiscard (if any) releases resources the sender lent the
+	// handler for the call's duration.
+	abandoned bool
+	onDiscard func(p *sim.Proc)
 }
 
 // Reply carries an RPC response value.
@@ -212,13 +227,22 @@ func (c *Conn) Send(p *sim.Proc, op string, arg any, size int) error {
 	if !ok {
 		return ErrUnreachable
 	}
-	if !q.Put(p, &Msg{Op: op, From: c.Local, Arg: arg, Size: size, conn: c}) {
+	m := &Msg{Op: op, From: c.Local, Arg: arg, Size: size, conn: c}
+	if fp := c.Local.Fab.Faults; fp != nil && fp.injectSend(p, c, q, m) {
+		// Dropped, deferred, or duplicated by the plane; either way the
+		// sender observes a successful post (fire-and-forget semantics).
+		return nil
+	}
+	if !q.Put(p, m) {
 		return ErrUnreachable
 	}
 	return nil
 }
 
-// Call delivers a message and blocks until the handler responds.
+// Call delivers a message and blocks until the handler responds. A fault
+// plane that drops the request frame leaves the caller blocked — lost
+// requests without a timeout hang, exactly as on real hardware; paths that
+// may face faults use CallTimeout.
 func (c *Conn) Call(p *sim.Proc, op string, arg any, size int) (any, error) {
 	c.sendCost(p, size)
 	q, ok := c.Remote.services[c.Service]
@@ -226,7 +250,10 @@ func (c *Conn) Call(p *sim.Proc, op string, arg any, size int) (any, error) {
 		return nil, ErrUnreachable
 	}
 	m := &Msg{Op: op, From: c.Local, Arg: arg, Size: size, conn: c, reply: sim.NewEvent(p.Env())}
-	if !q.Put(p, m) {
+	if fp := c.Local.Fab.Faults; fp != nil && fp.injectSend(p, c, q, m) {
+		// The plane consumed delivery (possibly dropping it); the reply
+		// event fires only if some copy of the frame reaches a handler.
+	} else if !q.Put(p, m) {
 		return nil, ErrUnreachable
 	}
 	rep := p.Wait(m.reply).(Reply)
@@ -234,19 +261,38 @@ func (c *Conn) Call(p *sim.Proc, op string, arg any, size int) (any, error) {
 }
 
 // CallTimeout is Call with an upper bound; ok=false means no response in d
-// (e.g. the serving process died mid-request).
+// (e.g. the serving process died mid-request, or the fault plane ate the
+// frame). A timed-out call is abandoned: a response arriving later is
+// discarded instead of triggering into the caller that moved on.
 func (c *Conn) CallTimeout(p *sim.Proc, op string, arg any, size int, d time.Duration) (any, error, bool) {
+	return c.CallTimeoutDiscard(p, op, arg, size, d, nil)
+}
+
+// CallTimeoutDiscard is CallTimeout with an abandonment hook: if the call
+// times out and the handler later responds anyway, the late response is
+// discarded and onDiscard runs once, in the responder's process context —
+// the moment resources the caller lent the handler for the call's duration
+// (e.g. pooled buffers a kernel worker was still reading) are known free.
+// If the handler never responds, onDiscard never runs.
+func (c *Conn) CallTimeoutDiscard(p *sim.Proc, op string, arg any, size int, d time.Duration, onDiscard func(p *sim.Proc)) (any, error, bool) {
 	c.sendCost(p, size)
 	q, ok := c.Remote.services[c.Service]
 	if !ok {
 		return nil, ErrUnreachable, true
 	}
 	m := &Msg{Op: op, From: c.Local, Arg: arg, Size: size, conn: c, reply: sim.NewEvent(p.Env())}
-	if !q.Put(p, m) {
+	if fp := c.Local.Fab.Faults; fp != nil && fp.injectSend(p, c, q, m) {
+		// Delivery consumed by the plane; fall through to the timed wait.
+	} else if !q.Put(p, m) {
 		return nil, ErrUnreachable, true
 	}
 	v, replied := p.WaitTimeout(m.reply, d)
 	if !replied {
+		m.abandoned = true
+		m.onDiscard = onDiscard
+		if rs := c.Local.Fab.Robust; rs != nil {
+			rs.RPCTimeouts++
+		}
 		return nil, nil, false
 	}
 	rep := v.(Reply)
@@ -254,12 +300,18 @@ func (c *Conn) CallTimeout(p *sim.Proc, op string, arg any, size int, d time.Dur
 }
 
 // Respond sends the RPC response of the given wire size back to the caller,
-// charging the serving process for the return path.
+// charging the serving process for the return path. If the caller has
+// already timed out and abandoned the call, the response still burns its
+// wire time (the responder cannot know) but is discarded at the caller's
+// NIC instead of triggering into an event nobody waits on.
 func (m *Msg) Respond(p *sim.Proc, val any, size int) {
 	if m.reply == nil {
 		return
 	}
 	m.conn.returnCost(p, size)
+	if m.discardLate(p) {
+		return
+	}
 	m.reply.Trigger(Reply{Val: val})
 }
 
@@ -269,7 +321,26 @@ func (m *Msg) RespondErr(p *sim.Proc, err error) {
 		return
 	}
 	m.conn.returnCost(p, 16)
+	if m.discardLate(p) {
+		return
+	}
 	m.reply.Trigger(Reply{Err: err})
+}
+
+// discardLate drops a response to an abandoned call, running the caller's
+// discard hook exactly once.
+func (m *Msg) discardLate(p *sim.Proc) bool {
+	if !m.abandoned {
+		return false
+	}
+	if rs := m.conn.Local.Fab.Robust; rs != nil {
+		rs.RepliesDiscarded++
+	}
+	if fn := m.onDiscard; fn != nil {
+		m.onDiscard = nil
+		fn(p)
+	}
+	return true
 }
 
 // NeedsReply reports whether the sender is waiting on a response.
@@ -284,12 +355,23 @@ func (c *Conn) RDMARead(p *sim.Proc, region string, off int64, dst []byte) error
 	if !ok {
 		return ErrUnreachable
 	}
+	var corrupt bool
+	if fp := c.Local.Fab.Faults; fp != nil {
+		err, cr := fp.injectOneSided(p, c)
+		if err != nil {
+			return err
+		}
+		corrupt = cr
+	}
 	// Request descriptor out.
 	c.sendCost(p, 16)
 	// Remote NIC pulls from the region (possibly across PCIe) …
 	r.ReadAt(p, off, dst)
 	// … and streams it back.
 	c.returnCost(p, len(dst))
+	if corrupt {
+		c.Local.Fab.Faults.CorruptBytes(dst)
+	}
 	return nil
 }
 
@@ -299,6 +381,21 @@ func (c *Conn) RDMAWrite(p *sim.Proc, region string, off int64, src []byte) erro
 	r, ok := c.Remote.regions[region]
 	if !ok {
 		return ErrUnreachable
+	}
+	if fp := c.Local.Fab.Faults; fp != nil {
+		err, corrupt := fp.injectOneSided(p, c)
+		if err != nil {
+			return err
+		}
+		if corrupt {
+			// The source buffer belongs to the sender (it may be a pooled
+			// chunk still referenced elsewhere), so corruption lands on a
+			// scratch copy, never the original.
+			bad := make([]byte, len(src))
+			copy(bad, src)
+			fp.CorruptBytes(bad)
+			src = bad
+		}
 	}
 	c.sendCost(p, len(src))
 	r.WriteAt(p, off, src)
